@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (padding size, quarantine threshold,
+//! adaptive interval, heap marking).
+
+fn main() {
+    print!("{}", fa_bench::ablation::render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Fig. 4 (throughput under repeated bug triggers:
+//! First-Aid vs Rx vs restart, Apache and Squid).
+
+use fa_apps::spec_by_key;
+use fa_bench::fig4;
+
+fn main() {
+    for key in ["apache", "squid"] {
+        let spec = spec_by_key(key).unwrap();
+        let fig = fig4::run_app(&spec, 14_000, 2_500);
+        println!("{}", fig4::render(&fig));
+        for s in &fig.series {
+            println!("# {} raw series (s, MB/s):", s.system);
+            for (t, v) in &s.points {
+                println!("{t:.2}\t{v:.3}");
+            }
+            println!();
+        }
+    }
+}

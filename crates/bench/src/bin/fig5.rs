@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 5 (the Apache dangling-read bug report).
+
+fn main() {
+    print!("{}", fa_bench::fig5::render());
+}

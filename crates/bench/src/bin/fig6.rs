@@ -1,0 +1,11 @@
+//! Regenerates paper Fig. 6 (normal-execution overhead).
+//!
+//! Pass `--quick` for a scaled-down run.
+
+use fa_bench::fig6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = fig6::rows(if quick { 4 } else { 1 });
+    print!("{}", fig6::render(&rows));
+}

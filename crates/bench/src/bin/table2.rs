@@ -1,0 +1,5 @@
+//! Regenerates paper Table 2 (applications and bugs).
+
+fn main() {
+    print!("{}", fa_bench::table2::render());
+}

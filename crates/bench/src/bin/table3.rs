@@ -1,0 +1,8 @@
+//! Regenerates paper Table 3 (overall effectiveness).
+
+use fa_bench::table3;
+
+fn main() {
+    let rows = table3::rows();
+    print!("{}", table3::render(&rows));
+}

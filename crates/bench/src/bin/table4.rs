@@ -1,0 +1,9 @@
+//! Regenerates paper Table 4 (First-Aid vs Rx footprint in the buggy
+//! region).
+
+use fa_bench::table4;
+
+fn main() {
+    let rows = table4::rows();
+    print!("{}", table4::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Table 5 (patch space overhead).
+
+use fa_bench::table5;
+
+fn main() {
+    let rows = table5::rows();
+    print!("{}", table5::render(&rows));
+}

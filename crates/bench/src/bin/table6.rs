@@ -1,0 +1,11 @@
+//! Regenerates paper Table 6 (allocator-extension space overhead).
+//!
+//! Pass `--quick` for a scaled-down run.
+
+use fa_bench::table6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = table6::rows(if quick { 4 } else { 1 });
+    print!("{}", table6::render(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table 7 (checkpointing space overhead).
+//!
+//! Pass `--quick` for a scaled-down run.
+
+use fa_bench::table7;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = table7::rows(if quick { 4 } else { 1 });
+    print!("{}", table7::render(&rows));
+}

@@ -1,0 +1,25 @@
+//! Fig. 5: the bug report First-Aid generates for the Apache dangling
+//! pointer read.
+
+use fa_apps::{spec_by_key, WorkloadSpec};
+use first_aid_core::{BugReport, FirstAidRuntime, PatchPool};
+
+use crate::paper_config;
+
+/// Runs the Apache case and returns its bug report.
+pub fn apache_report() -> BugReport {
+    let spec = spec_by_key("apache").expect("apache registered");
+    let pool = PatchPool::in_memory();
+    let mut fa = FirstAidRuntime::launch((spec.build)(), paper_config(), pool).unwrap();
+    let w = (spec.workload)(&WorkloadSpec::new(1_500, &[400]));
+    let _ = fa.run(w, None);
+    fa.recoveries
+        .first()
+        .and_then(|r| r.report.clone())
+        .expect("recovery must produce a report")
+}
+
+/// Renders the report (paper Fig. 5 layout).
+pub fn render() -> String {
+    apache_report().to_string()
+}

@@ -1,0 +1,108 @@
+//! Table 4: call-sites and memory objects affected by the runtime patch
+//! (First-Aid) vs. the global environmental changes (Rx) in the buggy
+//! region.
+//!
+//! This quantifies *exactness* (paper §4.3): First-Aid patches a handful
+//! of call-sites and objects; Rx must change every object allocated or
+//! freed during recovery, which is why Rx cannot leave its changes enabled
+//! and therefore cannot prevent reoccurrence.
+
+use fa_apps::{AppSpec, WorkloadSpec};
+use fa_checkpoint::AdaptiveConfig;
+use first_aid_core::{FirstAidRuntime, PatchPool, RxRuntime};
+
+use crate::paper_config;
+
+/// One row of Table 4.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Application name.
+    pub app: String,
+    /// Call-sites patched by First-Aid.
+    pub fa_sites: usize,
+    /// Call-sites touched by Rx's global changes in the buggy region.
+    pub rx_sites: usize,
+    /// Objects First-Aid's patches were applied to during the run.
+    pub fa_objects: u64,
+    /// Objects Rx's changes were applied to in the buggy region.
+    pub rx_objects: u64,
+}
+
+impl Table4Row {
+    /// First-Aid / Rx call-site ratio.
+    pub fn site_ratio(&self) -> f64 {
+        self.fa_sites as f64 / self.rx_sites.max(1) as f64
+    }
+
+    /// First-Aid / Rx object ratio.
+    pub fn object_ratio(&self) -> f64 {
+        self.fa_objects as f64 / self.rx_objects.max(1) as f64
+    }
+}
+
+/// Runs one application under both systems and reports the footprints.
+pub fn run_app(spec: &AppSpec) -> Table4Row {
+    let workload = (spec.workload)(&WorkloadSpec::new(1_500, &[400]));
+
+    // First-Aid: patched call-sites and patch-triggered objects.
+    let pool = PatchPool::in_memory();
+    let mut fa = FirstAidRuntime::launch((spec.build)(), paper_config(), pool).unwrap();
+    let _ = fa.run(workload.clone(), None);
+    let fa_sites = fa
+        .recoveries
+        .first()
+        .map(|r| r.patches.len())
+        .unwrap_or(0);
+    let fa_objects = fa.with_ext(|ext| {
+        let c = ext.counters();
+        c.objects_padded + c.objects_delayed + c.objects_zero_filled
+    });
+
+    // Rx: global environmental changes during its recovery window.
+    let mut rx = RxRuntime::launch((spec.build)(), AdaptiveConfig::default(), 1 << 30).unwrap();
+    let _ = rx.run(workload, None);
+    let (rx_sites, rx_objects) = rx
+        .recoveries
+        .first()
+        .map(|r| (r.changed_sites, r.changed_objects))
+        .unwrap_or((0, 0));
+
+    Table4Row {
+        app: spec.display.to_owned(),
+        fa_sites,
+        rx_sites,
+        fa_objects,
+        rx_objects,
+    }
+}
+
+/// Runs the seven real-bug applications (paper Table 4 scope).
+pub fn rows() -> Vec<Table4Row> {
+    fa_apps::all_specs()
+        .iter()
+        .filter(|s| !s.key.starts_with("apache-"))
+        .map(run_app)
+        .collect()
+}
+
+/// Renders Table 4 in the paper's layout.
+pub fn render(rows: &[Table4Row]) -> String {
+    let mut out = String::from(
+        "Table 4. Call-sites and memory objects affected by the runtime patch in the buggy region.\n\
+         \x20             Call-sites                 Objects\n\
+         Name         First-Aid  Rx    Ratio     First-Aid  Rx      Ratio\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:<5} {:<9} {:<10} {:<7} {}\n",
+            r.app,
+            r.fa_sites,
+            r.rx_sites,
+            crate::pct(r.site_ratio()),
+            r.fa_objects,
+            r.rx_objects,
+            crate::pct(r.object_ratio()),
+        ));
+    }
+    out
+}

@@ -1,0 +1,69 @@
+//! Qualitative regression tests for the design-choice ablations.
+//!
+//! These replicate the `ablation` binary's sweeps and are slow (minutes
+//! in release), so they are `#[ignore]`d by default; run them with
+//! `cargo test -p fa-bench --release -- --ignored`.
+
+use fa_bench::ablation;
+
+#[test]
+#[ignore = "slow sweep; run with --ignored"]
+fn undersized_padding_fails_to_prevent() {
+    // Squid's overflow writes 24 bytes past the estimate: 8-byte padding
+    // cannot absorb it (the patch keeps "working" against the failure it
+    // saw but later triggers corrupt memory again), while the paper's
+    // 508-byte padding prevents all reoccurrences.
+    let points = ablation::padding_sweep(&[8, 508]);
+    let small = &points[0];
+    let paper = &points[1];
+    assert!(
+        small.failures > 1,
+        "8-byte padding must not survive repeated triggers: {small:?}"
+    );
+    assert_eq!(paper.failures, 1, "paper-size padding prevents: {paper:?}");
+}
+
+#[test]
+#[ignore = "slow sweep; run with --ignored"]
+fn tiny_quarantine_undermines_delay_free() {
+    // Apache dereferences the dangling pointers ~250 requests after the
+    // free; one purge quarantines ~1.9 KB, so a 512-byte budget evicts
+    // most entries before their stale reads and the bug recurs — the
+    // space/protection trade-off of paper §2.
+    let points = ablation::quarantine_sweep(&[512, 1 << 20]);
+    let tiny = &points[0];
+    let paper = &points[1];
+    assert!(
+        tiny.failures > 1,
+        "a 512-byte quarantine must fail to protect: {tiny:?}"
+    );
+    assert_eq!(
+        paper.failures, 1,
+        "the 1 MB threshold protects: {paper:?}"
+    );
+}
+
+#[test]
+#[ignore = "slow sweep; run with --ignored"]
+fn adaptive_interval_bounds_checkpoint_overhead() {
+    let points = ablation::interval_ablation();
+    let fixed = points.iter().find(|p| p.policy.starts_with("fixed")).unwrap();
+    let adaptive = points.iter().find(|p| p.policy == "adaptive").unwrap();
+    assert!(
+        adaptive.overhead < fixed.overhead,
+        "adaptive ({:.3}) must beat fixed ({:.3})",
+        adaptive.overhead,
+        fixed.overhead
+    );
+    assert!(
+        adaptive.final_interval_ms > 200,
+        "the controller must stretch the interval for vortex"
+    );
+    assert!(
+        adaptive.overhead < fixed.overhead / 2.0,
+        "adaptive must at least halve the fixed-interval overhead \
+         (the run is dominated by the convergence phase): {:.3} vs {:.3}",
+        adaptive.overhead,
+        fixed.overhead
+    );
+}

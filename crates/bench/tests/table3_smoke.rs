@@ -1,0 +1,40 @@
+//! Smoke tests: the Table 3 driver reproduces the paper's qualitative
+//! claims for each application.
+
+use fa_apps::spec_by_key;
+use fa_bench::table3::run_app;
+
+#[test]
+fn squid_overflow_row() {
+    let r = run_app(&spec_by_key("squid").unwrap());
+    assert_eq!(r.diagnosed, "buffer overflow");
+    assert!(r.patch.starts_with("add padding"), "{}", r.patch);
+    assert_eq!(r.sites, 1);
+    assert!(r.avoids_future_errors);
+    assert!(r.validated);
+    assert!(r.recovery_s < 1.0, "short propagation: {}", r.recovery_s);
+}
+
+#[test]
+fn apache_dangling_read_row() {
+    let r = run_app(&spec_by_key("apache").unwrap());
+    assert_eq!(r.diagnosed, "dangling pointer read");
+    assert!(r.patch.starts_with("delay free"), "{}", r.patch);
+    assert_eq!(r.sites, 7, "seven purge call-sites: {}", r.patch);
+    assert!(r.avoids_future_errors);
+    assert!(r.validated);
+    assert!(
+        r.rollbacks >= 15,
+        "binary search over 7 sites needs many rollbacks, got {}",
+        r.rollbacks
+    );
+}
+
+#[test]
+fn cvs_double_free_row() {
+    let r = run_app(&spec_by_key("cvs").unwrap());
+    assert_eq!(r.diagnosed, "double free");
+    assert!(r.patch.starts_with("delay free"), "{}", r.patch);
+    assert!(r.avoids_future_errors);
+    assert!(r.validated);
+}

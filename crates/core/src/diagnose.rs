@@ -1,0 +1,492 @@
+//! The diagnosis engine (paper §4).
+//!
+//! Phase 1 identifies the latest checkpoint before the bug-triggering
+//! point; phase 2 identifies the bug types (the `Su`/`Si` probe algorithm)
+//! and the bug-triggering call-sites — directly from canary corruption and
+//! deallocation parameters for overflow / dangling write / double free, and
+//! by O(M·log N) binary search over call-sites for dangling read and
+//! uninitialized read.
+
+use std::collections::HashSet;
+
+use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, Patch};
+use fa_checkpoint::CheckpointManager;
+use fa_proc::{CallSite, Process};
+
+use crate::harness::{ReexecOptions, ReplayHarness, RunReport};
+
+/// Tunables of the diagnosis engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Success margin past the failure point, as a multiple of the
+    /// checkpoint interval (the paper uses 3).
+    pub margin_intervals: u64,
+    /// How many checkpoints phase 1 tries before declaring the bug
+    /// non-patchable.
+    pub max_checkpoint_tries: usize,
+    /// Hard cap on total re-executions (the diagnosis timeout).
+    pub max_reexecutions: usize,
+    /// Run the heap-integrity monitor during re-executions (must match
+    /// the deployment's normal-execution monitors).
+    pub integrity_check: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            margin_intervals: 3,
+            max_checkpoint_tries: 8,
+            max_reexecutions: 96,
+            integrity_check: false,
+        }
+    }
+}
+
+/// One diagnosed bug: its type, triggering call-sites, and evidence.
+#[derive(Clone, Debug)]
+pub struct DiagnosedBug {
+    /// The bug type.
+    pub bug: BugType,
+    /// Allocation or deallocation call-sites of the bug-triggering
+    /// objects (the patch application points).
+    pub sites: Vec<CallSite>,
+    /// Manifestations supporting the conclusion.
+    pub evidence: Vec<Manifestation>,
+}
+
+/// The result of a completed diagnosis.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    /// All diagnosed bugs (the identified set `Si` with call-sites).
+    pub bugs: Vec<DiagnosedBug>,
+    /// The checkpoint the patches take effect from.
+    pub checkpoint_id: u64,
+    /// Number of rollback/re-execution iterations performed.
+    pub rollbacks: usize,
+    /// Virtual time consumed by diagnosis.
+    pub elapsed_ns: u64,
+    /// Human-readable diagnosis log (part of the bug report).
+    pub log: Vec<String>,
+    /// End of the success region used as the re-execution criterion.
+    pub until_cursor: usize,
+}
+
+/// What the diagnosis concluded.
+#[derive(Clone, Debug)]
+pub enum DiagnosisOutcome {
+    /// Deterministic memory bugs were identified; patches follow.
+    Diagnosed(Diagnosis),
+    /// A plain re-execution with only timing changes succeeded: the
+    /// failure was non-deterministic; execution simply continues.
+    NonDeterministic {
+        /// Iterations used.
+        rollbacks: usize,
+        /// Virtual time consumed.
+        elapsed_ns: u64,
+        /// Diagnosis log.
+        log: Vec<String>,
+    },
+    /// The engine timed out or no checkpoint survives the region; other
+    /// recovery schemes (e.g. restart) must take over.
+    NonPatchable {
+        /// Iterations used.
+        rollbacks: usize,
+        /// Virtual time consumed.
+        elapsed_ns: u64,
+        /// Diagnosis log.
+        log: Vec<String>,
+    },
+}
+
+impl Diagnosis {
+    /// Generates the runtime patches for this diagnosis.
+    pub fn patches(&self, symbols: &fa_proc::SymbolTable) -> Vec<Patch> {
+        self.bugs
+            .iter()
+            .flat_map(|d| d.sites.iter().map(|&s| Patch::new(d.bug, s, symbols)))
+            .collect()
+    }
+}
+
+/// The diagnosis engine. Stateless; state lives in the process, the
+/// checkpoint manager, and the returned [`Diagnosis`].
+pub struct DiagnosisEngine {
+    config: EngineConfig,
+}
+
+struct Ledger {
+    rollbacks: usize,
+    elapsed_ns: u64,
+    log: Vec<String>,
+}
+
+impl Ledger {
+    fn charge(&mut self, r: &RunReport) {
+        self.rollbacks += 1;
+        self.elapsed_ns += r.elapsed_ns;
+    }
+}
+
+impl DiagnosisEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        DiagnosisEngine { config }
+    }
+
+    /// Diagnoses the pending failure of `process`.
+    ///
+    /// On return the process is in some rolled-back re-executed state; the
+    /// caller (the runtime) is expected to roll back once more to the
+    /// diagnosis checkpoint, install patches, and resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has no pending failure.
+    pub fn diagnose(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+    ) -> DiagnosisOutcome {
+        let failure = process
+            .failure
+            .clone()
+            .expect("diagnose requires a pending failure");
+        let f_idx = failure.input_index;
+        let margin_ns = self.config.margin_intervals * manager.interval_ns();
+        let until = ReplayHarness::success_end_cursor(process, f_idx, margin_ns);
+        let mut ledger = Ledger {
+            rollbacks: 0,
+            elapsed_ns: 0,
+            log: vec![format!(
+                "failure: {} at input #{f_idx} (t={:.3}s); success region ends at #{until}",
+                failure.fault,
+                failure.at_ns as f64 / 1e9
+            )],
+        };
+
+        // --------------------------------------------------------------
+        // Phase 0: non-determinism probe at the latest checkpoint.
+        // --------------------------------------------------------------
+        let Some(newest) = manager.nth_newest(0) else {
+            ledger.log.push("no checkpoints retained; non-patchable".into());
+            return DiagnosisOutcome::NonPatchable {
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+            };
+        };
+        let newest_id = newest.id;
+        let r = self.run(process, manager, newest_id, ChangePlan::none(), false, 0xfa11, until);
+        ledger.charge(&r);
+        if r.passed {
+            ledger.log.push(
+                "plain re-execution with timing changes passed: non-deterministic bug".into(),
+            );
+            return DiagnosisOutcome::NonDeterministic {
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+            };
+        }
+        ledger
+            .log
+            .push("plain re-execution failed again: deterministic bug".into());
+
+        // --------------------------------------------------------------
+        // Phase 1: find the latest checkpoint before the trigger point.
+        // --------------------------------------------------------------
+        let mut chosen: Option<u64> = None;
+        for k in 0..self.config.max_checkpoint_tries {
+            let Some(ckpt) = manager.nth_newest(k) else {
+                break;
+            };
+            let id = ckpt.id;
+            let plan = ChangePlan {
+                heap_marking: true,
+                ..ChangePlan::all_preventive()
+            };
+            let r = self.run(process, manager, id, plan, true, 0, until);
+            ledger.charge(&r);
+            if r.passed && !r.mark_corrupt() {
+                ledger.log.push(format!(
+                    "phase 1: checkpoint {id} (-{k}) survives with all preventive changes \
+                     and clean heap marks"
+                ));
+                chosen = Some(id);
+                break;
+            }
+            ledger.log.push(format!(
+                "phase 1: checkpoint {id} (-{k}) insufficient (passed={}, marks corrupt={})",
+                r.passed,
+                r.mark_corrupt()
+            ));
+        }
+        let Some(ckpt_id) = chosen else {
+            ledger
+                .log
+                .push("phase 1 exhausted checkpoints: non-patchable".into());
+            return DiagnosisOutcome::NonPatchable {
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+            };
+        };
+
+        // --------------------------------------------------------------
+        // Phase 2: identify bug types (Su/Si) and call-sites.
+        // --------------------------------------------------------------
+        let mut su: Vec<BugType> = BugType::ALL.to_vec();
+        let mut si: Vec<DiagnosedBug> = Vec::new();
+        while let Some(&probe_bug) = su.first() {
+            if ledger.rollbacks >= self.config.max_reexecutions {
+                ledger.log.push("re-execution budget exhausted".into());
+                return DiagnosisOutcome::NonPatchable {
+                    rollbacks: ledger.rollbacks,
+                    elapsed_ns: ledger.elapsed_ns,
+                    log: ledger.log,
+                };
+            }
+            let prevent: Vec<BugType> = su
+                .iter()
+                .chain(si.iter().map(|d| &d.bug))
+                .copied()
+                .collect();
+            let plan = ChangePlan::probe(probe_bug, &prevent);
+            let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
+            ledger.charge(&r);
+            let manifested = Self::manifested(probe_bug, &r);
+            ledger.log.push(format!(
+                "phase 2: probe {probe_bug}: {}",
+                if manifested { "manifested" } else { "ruled out" }
+            ));
+            su.retain(|&b| b != probe_bug);
+            if manifested {
+                let (sites, evidence) = if probe_bug.directly_identifiable() {
+                    (Self::direct_sites(probe_bug, &r), r.manifests.clone())
+                } else {
+                    let prevent_rest: Vec<BugType> = su
+                        .iter()
+                        .chain(si.iter().map(|d| &d.bug))
+                        .copied()
+                        .collect();
+                    let sites = self.binary_search_sites(
+                        process,
+                        manager,
+                        ckpt_id,
+                        probe_bug,
+                        &prevent_rest,
+                        &r,
+                        until,
+                        &mut ledger,
+                    );
+                    (sites, r.manifests.clone())
+                };
+                ledger.log.push(format!(
+                    "phase 2: {probe_bug} triggered at {} call-site(s)",
+                    sites.len()
+                ));
+                si.push(DiagnosedBug {
+                    bug: probe_bug,
+                    sites,
+                    evidence,
+                });
+
+                // Coverage check: preventive for Si, exposing for Su.
+                if !su.is_empty() {
+                    let mut plan = ChangePlan::none();
+                    for d in &si {
+                        *plan.mode_mut(d.bug) = Mode::Prevent;
+                    }
+                    for &b in &su {
+                        *plan.mode_mut(b) = Mode::Expose;
+                    }
+                    let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
+                    ledger.charge(&r);
+                    if r.passed && r.manifests.is_empty() {
+                        ledger
+                            .log
+                            .push("coverage check clean: all bug types identified".into());
+                        su.clear();
+                    } else {
+                        ledger
+                            .log
+                            .push("coverage check found residue: continuing".into());
+                    }
+                }
+            }
+        }
+
+        if si.is_empty() || si.iter().all(|d| d.sites.is_empty()) {
+            ledger
+                .log
+                .push("no memory bug type manifested: non-patchable".into());
+            return DiagnosisOutcome::NonPatchable {
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+            };
+        }
+        DiagnosisOutcome::Diagnosed(Diagnosis {
+            bugs: si,
+            checkpoint_id: ckpt_id,
+            rollbacks: ledger.rollbacks,
+            elapsed_ns: ledger.elapsed_ns,
+            log: ledger.log,
+            until_cursor: until,
+        })
+    }
+
+    /// Binary call-site search for dangling-read / uninit-read bugs:
+    /// O(M·log N) re-executions for M triggering sites among N candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn binary_search_sites(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        ckpt_id: u64,
+        bug: BugType,
+        prevent: &[BugType],
+        first_probe: &RunReport,
+        until: usize,
+        ledger: &mut Ledger,
+    ) -> Vec<CallSite> {
+        let mut identified: Vec<CallSite> = Vec::new();
+        // Candidates from the manifesting probe run.
+        let mut candidates: Vec<CallSite> = if bug.patches_at_allocation() {
+            first_probe.alloc_sites.clone()
+        } else {
+            first_probe.dealloc_sites.clone()
+        };
+
+        loop {
+            if ledger.rollbacks >= self.config.max_reexecutions {
+                break;
+            }
+            // Do the remaining candidates still trigger the bug with the
+            // identified sites held preventive?
+            let except: HashSet<CallSite> = identified.iter().copied().collect();
+            let mut plan = ChangePlan::probe(bug, prevent);
+            *plan.mode_mut(bug) = Mode::ExposeExcept(except);
+            let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
+            ledger.charge(&r);
+            if !Self::manifested(bug, &r) {
+                break;
+            }
+            // Refresh candidates from the farthest-reaching view.
+            let seen = if bug.patches_at_allocation() {
+                &r.alloc_sites
+            } else {
+                &r.dealloc_sites
+            };
+            for &s in seen {
+                if !candidates.contains(&s) {
+                    candidates.push(s);
+                }
+            }
+            let mut range: Vec<CallSite> = candidates
+                .iter()
+                .filter(|s| !identified.contains(s))
+                .copied()
+                .collect();
+            if range.is_empty() {
+                break;
+            }
+            while range.len() > 1 {
+                if ledger.rollbacks >= self.config.max_reexecutions {
+                    break;
+                }
+                let half: Vec<CallSite> = range[..range.len() / 2].to_vec();
+                let half_set: HashSet<CallSite> = half.iter().copied().collect();
+                let mut plan = ChangePlan::probe(bug, prevent);
+                *plan.mode_mut(bug) = Mode::ExposeOnly(half_set);
+                let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
+                ledger.charge(&r);
+                if Self::manifested(bug, &r) {
+                    range = half;
+                } else {
+                    range = range[range.len() / 2..].to_vec();
+                }
+            }
+            let site = range[0];
+            ledger.log.push(format!(
+                "binary search: identified {bug} trigger call-site {:x?}",
+                site.0
+            ));
+            identified.push(site);
+        }
+        identified
+    }
+
+    /// Decides whether bug type `b` manifested in a probe run.
+    fn manifested(b: BugType, r: &RunReport) -> bool {
+        match b {
+            BugType::BufferOverflow | BugType::DanglingWrite | BugType::DoubleFree => {
+                r.manifested(b)
+            }
+            // The exposing changes for the read bugs manifest as failures;
+            // the extension's access counters disambiguate which kind of
+            // read preceded the failure.
+            BugType::DanglingRead => !r.passed && r.quarantine_reads > 0,
+            BugType::UninitRead => !r.passed && r.uninit_reads > 0,
+        }
+    }
+
+    /// Reads the triggering call-sites directly off the manifestations.
+    fn direct_sites(b: BugType, r: &RunReport) -> Vec<CallSite> {
+        let mut sites = Vec::new();
+        for m in &r.manifests {
+            let site = match (b, m) {
+                (BugType::BufferOverflow, Manifestation::PaddingCorrupt { alloc_site, .. }) => {
+                    Some(*alloc_site)
+                }
+                (BugType::DanglingWrite, Manifestation::QuarantineCorrupt { freed_site, .. }) => {
+                    Some(*freed_site)
+                }
+                (
+                    BugType::DoubleFree,
+                    Manifestation::DoubleFree {
+                        first_free_site, ..
+                    },
+                ) => Some(*first_free_site),
+                _ => None,
+            };
+            if let Some(s) = site {
+                if !sites.contains(&s) {
+                    sites.push(s);
+                }
+            }
+        }
+        sites
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        ckpt_id: u64,
+        plan: ChangePlan,
+        mark: bool,
+        timing_seed: u64,
+        until: usize,
+    ) -> RunReport {
+        ReplayHarness::reexecute(
+            process,
+            manager,
+            ckpt_id,
+            plan,
+            &ReexecOptions {
+                mark_heap: mark,
+                timing_seed,
+                until_cursor: until,
+                integrity_check: self.config.integrity_check,
+            },
+        )
+    }
+}
+
+impl Default for DiagnosisEngine {
+    fn default() -> Self {
+        DiagnosisEngine::new(EngineConfig::default())
+    }
+}

@@ -1,0 +1,80 @@
+//! Throughput sampling for the Fig. 4 experiments.
+
+/// Buckets delivered bytes into fixed wall-clock windows, producing the
+/// MB/s-over-time series of paper Fig. 4.
+#[derive(Clone, Debug)]
+pub struct ThroughputSampler {
+    window_ns: u64,
+    /// Delivered bytes per window.
+    buckets: Vec<u64>,
+    last_bytes: u64,
+}
+
+impl ThroughputSampler {
+    /// Creates a sampler with the given window width.
+    pub fn new(window_ns: u64) -> Self {
+        ThroughputSampler {
+            window_ns,
+            buckets: Vec::new(),
+            last_bytes: 0,
+        }
+    }
+
+    /// Records the cumulative delivered byte count at wall time `wall_ns`.
+    pub fn record(&mut self, wall_ns: u64, delivered_bytes: u64) {
+        let idx = (wall_ns / self.window_ns) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        let delta = delivered_bytes.saturating_sub(self.last_bytes);
+        self.last_bytes = delivered_bytes;
+        self.buckets[idx] += delta;
+    }
+
+    /// Returns `(window_start_seconds, MB/s)` series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let window_s = self.window_ns as f64 / 1e9;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| {
+                (
+                    i as f64 * window_s,
+                    bytes as f64 / 1_048_576.0 / window_s,
+                )
+            })
+            .collect()
+    }
+
+    /// Returns the window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_deltas() {
+        let mut s = ThroughputSampler::new(1_000_000_000); // 1 s
+        s.record(100_000_000, 1_048_576); // 1 MB in window 0
+        s.record(1_500_000_000, 3_145_728); // +2 MB in window 1
+        let series = s.series();
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 1.0).abs() < 1e-9);
+        assert!((series[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_windows_are_zero() {
+        let mut s = ThroughputSampler::new(1_000_000_000);
+        s.record(100_000_000, 1_048_576);
+        s.record(3_100_000_000, 1_048_576); // no new bytes
+        let series = s.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[1].1, 0.0);
+        assert_eq!(series[2].1, 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The central patch pool (paper §3, "Patch management").
+//!
+//! "Once the diagnostic engine generates a patch, the patch management
+//! component stores it in a central patch pool based on the call-site
+//! information. First-Aid maintains a patch pool for each program so that
+//! the patches do not mix for different programs." Patches are persisted
+//! per program executable so subsequent runs and *other processes of the
+//! same program* start protected.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fa_allocext::{Patch, PatchSet};
+
+#[derive(Default)]
+struct Pools {
+    by_program: HashMap<String, Vec<Patch>>,
+}
+
+/// A shared, optionally persistent pool of runtime patches, keyed by
+/// program name.
+///
+/// Clones share the same underlying pool, so multiple supervised processes
+/// of the same program observe each other's patches immediately.
+#[derive(Clone)]
+pub struct PatchPool {
+    inner: Arc<Mutex<Pools>>,
+    dir: Option<PathBuf>,
+}
+
+impl PatchPool {
+    /// Creates a pool that lives only in memory.
+    pub fn in_memory() -> PatchPool {
+        PatchPool {
+            inner: Arc::new(Mutex::new(Pools::default())),
+            dir: None,
+        }
+    }
+
+    /// Creates a pool persisted as one JSON file per program in `dir`,
+    /// loading any existing patch files.
+    pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<PatchPool> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut pools = Pools::default();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(program) = name.strip_suffix(".patches.json") else {
+                continue;
+            };
+            let data = std::fs::read_to_string(&path)?;
+            match serde_json::from_str::<Vec<Patch>>(&data) {
+                Ok(patches) => {
+                    pools.by_program.insert(program.to_owned(), patches);
+                }
+                Err(e) => {
+                    // A damaged pool file must not brick the runtime.
+                    eprintln!("first-aid: ignoring damaged patch file {path:?}: {e}");
+                }
+            }
+        }
+        Ok(PatchPool {
+            inner: Arc::new(Mutex::new(pools)),
+            dir: Some(dir),
+        })
+    }
+
+    /// Returns the patch set for a program (empty if none).
+    pub fn get(&self, program: &str) -> PatchSet {
+        let pools = self.inner.lock();
+        match pools.by_program.get(program) {
+            Some(patches) => PatchSet::from_patches(patches.iter().cloned()),
+            None => PatchSet::new(),
+        }
+    }
+
+    /// Returns the number of patches stored for a program.
+    pub fn len(&self, program: &str) -> usize {
+        self.inner
+            .lock()
+            .by_program
+            .get(program)
+            .map_or(0, Vec::len)
+    }
+
+    /// Returns `true` if no patches are stored for the program.
+    pub fn is_empty(&self, program: &str) -> bool {
+        self.len(program) == 0
+    }
+
+    /// Adds patches for a program, skipping exact duplicates, and persists.
+    pub fn add(&self, program: &str, patches: impl IntoIterator<Item = Patch>) {
+        let mut pools = self.inner.lock();
+        let list = pools.by_program.entry(program.to_owned()).or_default();
+        for p in patches {
+            if !list.contains(&p) {
+                list.push(p);
+            }
+        }
+        let snapshot = list.clone();
+        drop(pools);
+        self.persist(program, &snapshot);
+    }
+
+    /// Removes all patches at the given call-site (validation failure).
+    pub fn remove_site(&self, program: &str, site: fa_proc::CallSite) {
+        let mut pools = self.inner.lock();
+        let Some(list) = pools.by_program.get_mut(program) else {
+            return;
+        };
+        list.retain(|p| p.site != site);
+        let snapshot = list.clone();
+        drop(pools);
+        self.persist(program, &snapshot);
+    }
+
+    fn persist(&self, program: &str, patches: &[Patch]) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join(format!("{program}.patches.json"));
+        match serde_json::to_string_pretty(patches) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("first-aid: failed to persist patches to {path:?}: {e}");
+                }
+            }
+            Err(e) => eprintln!("first-aid: failed to serialize patches: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::BugType;
+    use fa_proc::{CallSite, SymbolTable};
+
+    fn patch(bug: BugType, id: u64) -> Patch {
+        Patch::new(bug, CallSite([id, 0, 0]), &SymbolTable::new())
+    }
+
+    #[test]
+    fn per_program_isolation() {
+        let pool = PatchPool::in_memory();
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        pool.add("squid", [patch(BugType::BufferOverflow, 2)]);
+        assert_eq!(pool.len("apache"), 1);
+        assert_eq!(pool.len("squid"), 1);
+        assert!(pool.get("apache").match_dealloc(CallSite([1, 0, 0])).is_some());
+        assert!(pool.get("apache").match_alloc(CallSite([2, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn duplicates_skipped() {
+        let pool = PatchPool::in_memory();
+        pool.add("m4", [patch(BugType::DanglingRead, 1)]);
+        pool.add("m4", [patch(BugType::DanglingRead, 1)]);
+        assert_eq!(pool.len("m4"), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let pool = PatchPool::in_memory();
+        let other = pool.clone();
+        pool.add("cvs", [patch(BugType::DoubleFree, 3)]);
+        assert_eq!(other.len("cvs"), 1, "other process sees the patch");
+    }
+
+    #[test]
+    fn remove_site_deletes() {
+        let pool = PatchPool::in_memory();
+        pool.add(
+            "bc",
+            [patch(BugType::BufferOverflow, 1), patch(BugType::BufferOverflow, 2)],
+        );
+        pool.remove_site("bc", CallSite([1, 0, 0]));
+        assert_eq!(pool.len("bc"), 1);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("fa-pool-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let pool = PatchPool::persistent(&dir).unwrap();
+            pool.add("pine", [patch(BugType::BufferOverflow, 7)]);
+        }
+        {
+            // A fresh pool (a later run of the program) sees the patch.
+            let pool = PatchPool::persistent(&dir).unwrap();
+            assert_eq!(pool.len("pine"), 1);
+            assert!(pool.get("pine").match_alloc(CallSite([7, 0, 0])).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_pool_file_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("fa-pool-dmg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("mutt.patches.json"), b"{not json").unwrap();
+        let pool = PatchPool::persistent(&dir).unwrap();
+        assert_eq!(pool.len("mutt"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,222 @@
+//! On-site bug reports (paper §5, Fig. 5).
+//!
+//! Besides the usual core dump, First-Aid gives developers: (a) the
+//! diagnosis log, (b) the runtime patch information (bug type +
+//! call-sites), (c) allocation/deallocation traces of the buggy region
+//! with and without the patch, and (d) the illegal accesses the patch
+//! neutralizes, grouped by the code making them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Serialize;
+
+use fa_allocext::{IllegalKind, Patch, TraceEvent};
+use fa_mem::AccessKind;
+use fa_proc::{FailureRecord, SymbolTable};
+
+use crate::diagnose::Diagnosis;
+use crate::validate::ValidationOutcome;
+
+/// A rendered-on-demand diagnostic bug report.
+///
+/// Serializes to JSON for shipping to developers alongside the core dump
+/// (`serde_json::to_string_pretty(&report)`).
+#[derive(Clone, Debug, Serialize)]
+pub struct BugReport {
+    /// Program name.
+    pub program: String,
+    /// Description of the original failure (the "core dump").
+    pub failure: String,
+    /// Recovery time in virtual seconds.
+    pub recovery_s: f64,
+    /// Validation time in virtual seconds.
+    pub validation_s: f64,
+    /// The diagnosis log.
+    pub diagnosis_log: Vec<String>,
+    /// Patches with their trigger counts from validation.
+    pub patches: Vec<(Patch, u64)>,
+    /// Paired allocation/deallocation trace lines: (without patch, with
+    /// patch).
+    pub mm_diff: Vec<(String, String)>,
+    /// Illegal access summary per patch: (patch index, reads, writes,
+    /// lines like "from N instruction site(s) in f").
+    pub illegal_summary: Vec<(usize, u64, u64, Vec<String>)>,
+}
+
+impl BugReport {
+    /// Assembles a report from the recovery artifacts.
+    pub fn build(
+        program: &str,
+        failure: &FailureRecord,
+        diagnosis: &Diagnosis,
+        patches: &[Patch],
+        validation: &ValidationOutcome,
+        symbols: &SymbolTable,
+    ) -> BugReport {
+        let patched_trace = validation.traces.first().cloned().unwrap_or_default();
+        let triggers = validation
+            .trigger_counts
+            .first()
+            .cloned()
+            .unwrap_or_default();
+        let patches_with_counts: Vec<(Patch, u64)> = patches
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), triggers.get(&i).copied().unwrap_or(0)))
+            .collect();
+
+        BugReport {
+            program: program.to_owned(),
+            failure: format!(
+                "{} at input #{} (t={:.3}s)",
+                failure.fault,
+                failure.input_index,
+                failure.at_ns as f64 / 1e9
+            ),
+            recovery_s: diagnosis.elapsed_ns as f64 / 1e9,
+            validation_s: validation.validation_ns as f64 / 1e9,
+            diagnosis_log: diagnosis.log.clone(),
+            patches: patches_with_counts,
+            mm_diff: Self::mm_diff(&validation.unpatched_trace, &patched_trace),
+            illegal_summary: Self::illegal_summary(&patched_trace, symbols),
+            }
+    }
+
+    /// Pairs the memory-management operations of the unpatched and patched
+    /// traces (paper Fig. 5, item 4).
+    fn mm_diff(unpatched: &[TraceEvent], patched: &[TraceEvent]) -> Vec<(String, String)> {
+        fn render(e: &TraceEvent) -> Option<String> {
+            match e {
+                TraceEvent::Alloc { user, size, .. } => Some(format!("malloc({size}): {user}")),
+                TraceEvent::Dealloc {
+                    user, delayed_by, ..
+                } => Some(match delayed_by {
+                    Some(p) => format!("free({user})  (delayed, patch {})", p + 1),
+                    None => format!("free({user})"),
+                }),
+                TraceEvent::Illegal { .. } => None,
+            }
+        }
+        let left: Vec<String> = unpatched.iter().filter_map(render).collect();
+        let right: Vec<String> = patched.iter().filter_map(render).collect();
+        let n = left.len().max(right.len()).min(64);
+        (0..n)
+            .map(|i| {
+                (
+                    left.get(i).cloned().unwrap_or_default(),
+                    right.get(i).cloned().unwrap_or_default(),
+                )
+            })
+            .collect()
+    }
+
+    /// Groups illegal accesses by neutralizing patch and accessing
+    /// call-site (paper Fig. 5, item 5).
+    fn illegal_summary(
+        trace: &[TraceEvent],
+        symbols: &SymbolTable,
+    ) -> Vec<(usize, u64, u64, Vec<String>)> {
+        // patch index (or usize::MAX for unattributed) →
+        //   (reads, writes, site → count)
+        let mut groups: BTreeMap<usize, (u64, u64, BTreeMap<String, u64>)> = BTreeMap::new();
+        for e in trace {
+            let TraceEvent::Illegal {
+                kind,
+                access,
+                access_site,
+                patch,
+                ..
+            } = e
+            else {
+                continue;
+            };
+            let idx = patch.unwrap_or(match kind {
+                // Unattributed events group by kind-implied change.
+                IllegalKind::PaddingWrite => 0,
+                IllegalKind::QuarantineRead | IllegalKind::QuarantineWrite => 0,
+                IllegalKind::UninitRead => 0,
+            });
+            let entry = groups.entry(idx).or_default();
+            match access {
+                AccessKind::Read => entry.0 += 1,
+                AccessKind::Write => entry.1 += 1,
+            }
+            let site = symbols.name(access_site.leaf()).to_owned();
+            *entry.2.entry(site).or_insert(0) += 1;
+        }
+        groups
+            .into_iter()
+            .map(|(idx, (reads, writes, sites))| {
+                let lines = sites
+                    .into_iter()
+                    .map(|(site, n)| format!("from {n} access(es) in {site}"))
+                    .collect();
+                (idx, reads, writes, lines)
+            })
+            .collect()
+    }
+}
+
+impl BugReport {
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Bug report for {}:", self.program)?;
+        writeln!(f, "1. Failure coredump: {}", self.failure)?;
+        writeln!(
+            f,
+            "2. Diagnosis summary: recovery: {:.3}(s); validation: {:.3}(s)",
+            self.recovery_s, self.validation_s
+        )?;
+        for line in &self.diagnosis_log {
+            writeln!(f, "    | {line}")?;
+        }
+        writeln!(
+            f,
+            "3. Patch applied: {} patch(es)",
+            self.patches.len()
+        )?;
+        for (i, (patch, triggered)) in self.patches.iter().enumerate() {
+            writeln!(
+                f,
+                "    Patch {}: {} on callsite for {} (triggered {} times)",
+                i + 1,
+                patch.change.label(),
+                patch.bug,
+                triggered
+            )?;
+            for name in &patch.site_names {
+                writeln!(f, "        @{name}")?;
+            }
+        }
+        writeln!(f, "4. Memory allocations/deallocations in buggy region:")?;
+        writeln!(f, "    {:<40} | with patch", "without patch")?;
+        for (l, r) in self.mm_diff.iter().take(16) {
+            writeln!(f, "    {l:<40} | {r}")?;
+        }
+        if self.mm_diff.len() > 16 {
+            writeln!(f, "    ... ({} more lines)", self.mm_diff.len() - 16)?;
+        }
+        writeln!(f, "5. Illegal access trace in buggy region:")?;
+        for (idx, reads, writes, lines) in &self.illegal_summary {
+            writeln!(
+                f,
+                "    patch {}: {} accesses ({} read, {} write):",
+                idx + 1,
+                reads + writes,
+                reads,
+                writes
+            )?;
+            for line in lines {
+                writeln!(f, "        {line}")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,505 @@
+//! The First-Aid supervisor runtime.
+//!
+//! Wraps a simulated process with the full pipeline of paper Fig. 1:
+//! periodic checkpoints during normal execution; on failure, diagnosis →
+//! patch generation → patch application → resumed execution; then patch
+//! validation on a fork and bug-report generation.
+
+use fa_allocext::{ExtAllocator, Patch};
+use fa_checkpoint::{AdaptiveConfig, CheckpointManager, CheckpointStats};
+use fa_proc::{BoxedApp, Fault, Input, Process, ProcessCtx, StepResult};
+
+use crate::diagnose::{Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig};
+use crate::harness::expect_ext;
+use crate::metrics::ThroughputSampler;
+use crate::patchpool::PatchPool;
+use crate::report::BugReport;
+use crate::validate::{ValidationEngine, ValidationOutcome};
+
+/// Configuration of the First-Aid runtime.
+#[derive(Clone, Debug)]
+pub struct FirstAidConfig {
+    /// Simulated heap size limit.
+    pub heap_limit: u64,
+    /// Checkpointing configuration (interval 200 ms by default, adaptive).
+    pub adaptive: AdaptiveConfig,
+    /// Maximum retained checkpoints.
+    pub max_checkpoints: usize,
+    /// Diagnosis engine tunables.
+    pub engine: EngineConfig,
+    /// Randomized validation iterations (0 disables validation).
+    pub validation_iterations: usize,
+    /// Delay-free quarantine byte budget (1 MB in the paper).
+    pub quarantine_bytes: u64,
+    /// Run the heap-integrity error monitor every N served inputs
+    /// (0 disables it). A stronger monitor catches metadata corruption
+    /// closer to the bug-triggering point, shortening error-propagation
+    /// distance (paper §3 invites deploying such detectors).
+    pub integrity_check_every: usize,
+}
+
+impl Default for FirstAidConfig {
+    fn default() -> Self {
+        FirstAidConfig {
+            heap_limit: 1 << 30,
+            adaptive: AdaptiveConfig::default(),
+            max_checkpoints: 50,
+            engine: EngineConfig::default(),
+            validation_iterations: 3,
+            quarantine_bytes: fa_allocext::DEFAULT_QUARANTINE_BYTES,
+            integrity_check_every: 0,
+        }
+    }
+}
+
+/// How one recovery concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Bugs diagnosed; runtime patches installed; execution resumed.
+    Patched,
+    /// The failure did not reproduce under timing changes; execution
+    /// simply continued.
+    NonDeterministic,
+    /// Diagnosis gave up; the poisoned input was dropped and execution
+    /// continued unprotected.
+    Dropped,
+}
+
+/// Everything produced by one recovery.
+#[derive(Debug)]
+pub struct RecoveryRecord {
+    /// How the recovery concluded.
+    pub kind: RecoveryKind,
+    /// The diagnosis, when one completed.
+    pub diagnosis: Option<Diagnosis>,
+    /// The patches installed by this recovery.
+    pub patches: Vec<Patch>,
+    /// Wall (virtual) time from failure catch to back-to-normal.
+    pub recovery_ns: u64,
+    /// The validation outcome, when validation ran.
+    pub validation: Option<ValidationOutcome>,
+    /// The assembled bug report, when validation ran.
+    pub report: Option<BugReport>,
+}
+
+/// Outcome of feeding one input through the supervised process.
+#[derive(Clone, Debug)]
+pub struct FeedOutcome {
+    /// The input was ultimately served (possibly after a recovery).
+    pub served: bool,
+    /// A failure occurred while first handling this input.
+    pub failed: bool,
+    /// Index into [`FirstAidRuntime::recoveries`] if a recovery ran.
+    pub recovery: Option<usize>,
+}
+
+/// Summary of a full workload run.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Inputs served successfully.
+    pub served: usize,
+    /// Failures caught by the error monitor.
+    pub failures: usize,
+    /// Recoveries performed.
+    pub recoveries: usize,
+    /// Inputs dropped (non-patchable path).
+    pub dropped: usize,
+    /// Final wall time.
+    pub wall_ns: u64,
+    /// Total bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// The First-Aid supervisor.
+pub struct FirstAidRuntime {
+    process: Process,
+    manager: CheckpointManager,
+    pool: PatchPool,
+    config: FirstAidConfig,
+    program: String,
+    wall_ns: u64,
+    last_proc_clock: u64,
+    /// Input index of the most recent failure, for crash-loop detection.
+    last_failure_index: Option<usize>,
+    /// All recoveries performed, in order.
+    pub recoveries: Vec<RecoveryRecord>,
+}
+
+impl FirstAidRuntime {
+    /// Launches an application under First-Aid supervision.
+    ///
+    /// Installs the allocator extension (with any patches already in the
+    /// pool for this program) and takes checkpoint 0.
+    pub fn launch(
+        app: BoxedApp,
+        mut config: FirstAidConfig,
+        pool: PatchPool,
+    ) -> Result<FirstAidRuntime, Fault> {
+        // Re-execution must use the same error monitors as normal
+        // execution, or monitor-caught failures would not reproduce.
+        config.engine.integrity_check = config.integrity_check_every > 0;
+        let program = app.name().to_owned();
+        let mut ctx = ProcessCtx::new(config.heap_limit);
+        let patches = pool.get(&program);
+        let quarantine = config.quarantine_bytes;
+        ctx.swap_alloc(|old| {
+            let mut ext = ExtAllocator::attach(old.heap().clone());
+            ext.set_quarantine_threshold(quarantine);
+            ext.set_normal(patches);
+            Box::new(ext)
+        });
+        let mut process = Process::launch(app, ctx)?;
+        let mut manager = CheckpointManager::new(config.adaptive, config.max_checkpoints);
+        manager.force_checkpoint(&mut process);
+        let last_proc_clock = process.ctx.clock.now();
+        Ok(FirstAidRuntime {
+            process,
+            manager,
+            pool,
+            config,
+            program,
+            wall_ns: last_proc_clock,
+            last_proc_clock,
+            last_failure_index: None,
+            recoveries: Vec::new(),
+        })
+    }
+
+    /// Returns the supervised process.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Returns the supervised process mutably (experiment harness use).
+    pub fn process_mut(&mut self) -> &mut Process {
+        &mut self.process
+    }
+
+    /// Returns the wall (virtual) time, which only moves forward even
+    /// across rollbacks.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// Returns the program name (patch-pool key).
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Returns checkpointing statistics (paper Table 7).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.manager.stats()
+    }
+
+    /// Returns the shared patch pool.
+    pub fn pool(&self) -> &PatchPool {
+        &self.pool
+    }
+
+    /// Runs a closure over the allocator extension (counters, tables).
+    pub fn with_ext<R>(&mut self, f: impl FnOnce(&mut ExtAllocator) -> R) -> R {
+        self.process
+            .ctx
+            .with_alloc_and_mem(|alloc, _mem| f(expect_ext(alloc)))
+    }
+
+    fn sync_wall(&mut self) {
+        let now = self.process.ctx.clock.now();
+        if now > self.last_proc_clock {
+            self.wall_ns += now - self.last_proc_clock;
+        }
+        self.last_proc_clock = now;
+    }
+
+    fn resync_without_credit(&mut self) {
+        self.last_proc_clock = self.process.ctx.clock.now();
+    }
+
+    /// Feeds one input; recovers on failure.
+    pub fn feed(&mut self, input: Input) -> FeedOutcome {
+        let r = self.process.feed(input);
+        self.sync_wall();
+        match r {
+            StepResult::Ok(_) => {
+                if self.manager.maybe_checkpoint(&mut self.process).is_some() {
+                    self.sync_wall();
+                }
+                FeedOutcome {
+                    served: true,
+                    failed: false,
+                    recovery: None,
+                }
+            }
+            StepResult::Failed(_) => {
+                let idx = self.recover();
+                // After recovery the failing input either succeeded during
+                // the patched replay or was dropped.
+                let served = self.recoveries[idx].kind != RecoveryKind::Dropped;
+                FeedOutcome {
+                    served,
+                    failed: true,
+                    recovery: Some(idx),
+                }
+            }
+        }
+    }
+
+    /// Runs a whole recorded workload, recovering as needed; optionally
+    /// samples throughput for Fig. 4-style series.
+    pub fn run(
+        &mut self,
+        workload: impl IntoIterator<Item = Input>,
+        mut sampler: Option<&mut ThroughputSampler>,
+    ) -> RunSummary {
+        let mut summary = RunSummary::default();
+        for input in workload {
+            self.process.enqueue(input);
+        }
+        loop {
+            match self.process.step() {
+                None => {
+                    if self.process.pending() == 0 {
+                        break;
+                    }
+                    // A pending failure without a step means recover.
+                    let idx = self.recover();
+                    summary.recoveries += 1;
+                    if self.recoveries[idx].kind == RecoveryKind::Dropped {
+                        summary.dropped += 1;
+                    }
+                }
+                Some(StepResult::Ok(_)) => {
+                    summary.served += 1;
+                    self.sync_wall();
+                    if self.manager.maybe_checkpoint(&mut self.process).is_some() {
+                        self.sync_wall();
+                    }
+                    let every = self.config.integrity_check_every;
+                    if every > 0 && summary.served % every == 0 {
+                        let verdict = self.process.ctx.with_alloc_and_mem(|alloc, mem| {
+                            alloc.heap().check_integrity(mem)
+                        });
+                        if let Err(e) = verdict {
+                            self.process.raise_failure(Fault::Heap(e));
+                            summary.failures += 1;
+                            self.sync_wall();
+                            let idx = self.recover();
+                            summary.recoveries += 1;
+                            if self.recoveries[idx].kind == RecoveryKind::Dropped {
+                                summary.dropped += 1;
+                            }
+                        }
+                    }
+                }
+                Some(StepResult::Failed(_)) => {
+                    summary.failures += 1;
+                    self.sync_wall();
+                    let idx = self.recover();
+                    summary.recoveries += 1;
+                    if self.recoveries[idx].kind == RecoveryKind::Dropped {
+                        summary.dropped += 1;
+                    }
+                }
+            }
+            if let Some(s) = sampler.as_deref_mut() {
+                s.record(self.wall_ns, self.process.bytes_delivered);
+            }
+        }
+        summary.wall_ns = self.wall_ns;
+        summary.bytes_delivered = self.process.bytes_delivered;
+        summary
+    }
+
+    /// Diagnoses the pending failure, installs patches, resumes execution,
+    /// validates, and files a [`RecoveryRecord`]. Returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no failure is pending.
+    pub fn recover(&mut self) -> usize {
+        let failure = self
+            .process
+            .failure
+            .clone()
+            .expect("recover requires a pending failure");
+        self.sync_wall();
+        let wall_at_failure = self.wall_ns;
+
+        // Crash-loop safeguard: if failures recur within a few inputs of
+        // the previous one, diagnosis is evidently not helping (e.g. an
+        // ineffective patch, or a bug First-Aid cannot fix) — resort to
+        // the cheap recovery scheme and drop the input (paper §2: "times
+        // out and resorts to other recovery schemes").
+        let crash_loop = self
+            .last_failure_index
+            .is_some_and(|prev| failure.input_index.saturating_sub(prev) < 20);
+        self.last_failure_index = Some(failure.input_index);
+        if crash_loop {
+            self.process.clear_failure();
+            self.process.skip_current();
+            self.manager.rearm(&self.process);
+            self.recoveries.push(RecoveryRecord {
+                kind: RecoveryKind::Dropped,
+                diagnosis: None,
+                patches: Vec::new(),
+                recovery_ns: self.wall_ns - wall_at_failure,
+                validation: None,
+                report: None,
+            });
+            return self.recoveries.len() - 1;
+        }
+
+        let engine = DiagnosisEngine::new(self.config.engine);
+        let outcome = engine.diagnose(&mut self.process, &self.manager);
+        let record = match outcome {
+            DiagnosisOutcome::NonDeterministic {
+                elapsed_ns, log, ..
+            } => {
+                // The successful plain re-execution left the process past
+                // the failure region; keep going from there.
+                self.wall_ns += elapsed_ns;
+                self.resync_without_credit();
+                self.manager.rearm(&self.process);
+                let _ = log;
+                RecoveryRecord {
+                    kind: RecoveryKind::NonDeterministic,
+                    diagnosis: None,
+                    patches: Vec::new(),
+                    recovery_ns: self.wall_ns - wall_at_failure,
+                    validation: None,
+                    report: None,
+                }
+            }
+            DiagnosisOutcome::NonPatchable {
+                elapsed_ns, ..
+            } => {
+                self.wall_ns += elapsed_ns;
+                // Fall back: roll back to the newest checkpoint, replay in
+                // normal mode up to the poisoned input, drop it.
+                let newest = self
+                    .manager
+                    .nth_newest(0)
+                    .expect("launch guarantees a checkpoint")
+                    .id;
+                self.manager.rollback_to(&mut self.process, newest);
+                let patches = self.pool.get(&self.program);
+                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
+                    expect_ext(alloc).set_normal(patches);
+                });
+                let t0 = self.process.ctx.clock.now();
+                while self.process.cursor() < failure.input_index {
+                    match self.process.step() {
+                        Some(r) if r.is_ok() => {}
+                        _ => break,
+                    }
+                }
+                self.process.clear_failure();
+                self.process.skip_current();
+                self.wall_ns += self.process.ctx.clock.now().saturating_sub(t0);
+                self.resync_without_credit();
+                self.manager.truncate_after(newest);
+                self.manager.rearm(&self.process);
+                RecoveryRecord {
+                    kind: RecoveryKind::Dropped,
+                    diagnosis: None,
+                    patches: Vec::new(),
+                    recovery_ns: self.wall_ns - wall_at_failure,
+                    validation: None,
+                    report: None,
+                }
+            }
+            DiagnosisOutcome::Diagnosed(diagnosis) => {
+                self.wall_ns += diagnosis.elapsed_ns;
+                let patches = diagnosis.patches(&self.process.ctx.symbols);
+                self.pool.add(&self.program, patches.iter().cloned());
+                let patchset = self.pool.get(&self.program);
+
+                // Final recovery pass: back to the diagnosis checkpoint in
+                // normal mode with the patches installed; replay forward.
+                self.manager
+                    .rollback_to(&mut self.process, diagnosis.checkpoint_id);
+                let ps = patchset.clone();
+                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
+                    expect_ext(alloc).set_normal(ps);
+                });
+                // Recovery ends when the process is back in normal mode
+                // and has caught up to the input it crashed on; traffic
+                // beyond that is ordinary execution (the paper's recovery
+                // time is "from when the failure is first caught to when
+                // the program changes back to normal mode").
+                let t0 = self.process.ctx.clock.now();
+                while self.process.cursor() <= failure.input_index {
+                    match self.process.step() {
+                        Some(r) if r.is_ok() => {}
+                        _ => break,
+                    }
+                }
+                if self.process.failure.is_some() {
+                    // The patch did not carry the replay through the
+                    // region (should not happen after a clean phase 1);
+                    // drop the poisoned input rather than loop.
+                    self.process.clear_failure();
+                    self.process.skip_current();
+                }
+                self.wall_ns += self.process.ctx.clock.now().saturating_sub(t0) + 80_000;
+                self.resync_without_credit();
+                let recovery_ns = self.wall_ns - wall_at_failure;
+
+                // Validation runs on a fork from the diagnosis checkpoint;
+                // it is parallel in the paper, so its virtual time is
+                // reported but not added to the main wall.
+                let (validation, report) = if self.config.validation_iterations > 0 {
+                    let snap = self
+                        .manager
+                        .get(diagnosis.checkpoint_id)
+                        .map(|c| c.snap.clone());
+                    match snap {
+                        Some(snap) => {
+                            let v = ValidationEngine::new(self.config.validation_iterations)
+                                .validate(
+                                    &self.process,
+                                    &snap,
+                                    &patchset,
+                                    diagnosis.until_cursor,
+                                );
+                            if !v.consistent {
+                                for p in &patches {
+                                    self.pool.remove_site(&self.program, p.site);
+                                }
+                                let reduced = self.pool.get(&self.program);
+                                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
+                                    expect_ext(alloc).set_normal(reduced);
+                                });
+                            }
+                            let report = BugReport::build(
+                                &self.program,
+                                &failure,
+                                &diagnosis,
+                                &patches,
+                                &v,
+                                &self.process.ctx.symbols,
+                            );
+                            (Some(v), Some(report))
+                        }
+                        None => (None, None),
+                    }
+                } else {
+                    (None, None)
+                };
+
+                self.manager.truncate_after(diagnosis.checkpoint_id);
+                self.manager.rearm(&self.process);
+                RecoveryRecord {
+                    kind: RecoveryKind::Patched,
+                    diagnosis: Some(diagnosis),
+                    patches,
+                    recovery_ns,
+                    validation,
+                    report,
+                }
+            }
+        };
+        self.recoveries.push(record);
+        self.recoveries.len() - 1
+    }
+}

@@ -1,0 +1,110 @@
+//! The memory bug taxonomy First-Aid diagnoses (paper Table 1).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A memory management bug type First-Aid can diagnose and patch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum BugType {
+    /// A write past either end of a heap object.
+    BufferOverflow,
+    /// A read through a pointer to freed memory.
+    DanglingRead,
+    /// A write through a pointer to freed memory.
+    DanglingWrite,
+    /// Freeing the same object twice.
+    DoubleFree,
+    /// Reading a newly allocated object before initializing it.
+    UninitRead,
+}
+
+impl BugType {
+    /// All bug types, in the order the diagnosis engine probes them.
+    ///
+    /// Directly identifiable types (via canary corruption or deallocation
+    /// parameters) come first; the types requiring binary call-site search
+    /// (paper §4.2) come last, since they are the expensive ones.
+    pub const ALL: [BugType; 5] = [
+        BugType::BufferOverflow,
+        BugType::DanglingWrite,
+        BugType::DoubleFree,
+        BugType::DanglingRead,
+        BugType::UninitRead,
+    ];
+
+    /// Returns `true` if the bug-triggering call-sites can be read directly
+    /// off the manifestation (canary corruption location or deallocation
+    /// parameters), `false` if binary search over call-sites is required.
+    pub fn directly_identifiable(self) -> bool {
+        match self {
+            BugType::BufferOverflow | BugType::DanglingWrite | BugType::DoubleFree => true,
+            BugType::DanglingRead | BugType::UninitRead => false,
+        }
+    }
+
+    /// Returns `true` if the patch applies at allocation call-sites,
+    /// `false` for deallocation call-sites (paper Table 1, last column).
+    pub fn patches_at_allocation(self) -> bool {
+        match self {
+            BugType::BufferOverflow | BugType::UninitRead => true,
+            BugType::DanglingRead | BugType::DanglingWrite | BugType::DoubleFree => false,
+        }
+    }
+
+    /// Short stable name used in logs and serialized patches.
+    pub fn label(self) -> &'static str {
+        match self {
+            BugType::BufferOverflow => "buffer overflow",
+            BugType::DanglingRead => "dangling pointer read",
+            BugType::DanglingWrite => "dangling pointer write",
+            BugType::DoubleFree => "double free",
+            BugType::UninitRead => "uninitialized read",
+        }
+    }
+}
+
+impl fmt::Display for BugType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_each_type_once() {
+        let mut v = BugType::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn direct_identifiability_matches_paper() {
+        assert!(BugType::BufferOverflow.directly_identifiable());
+        assert!(BugType::DanglingWrite.directly_identifiable());
+        assert!(BugType::DoubleFree.directly_identifiable());
+        assert!(!BugType::DanglingRead.directly_identifiable());
+        assert!(!BugType::UninitRead.directly_identifiable());
+    }
+
+    #[test]
+    fn patch_points_match_table1() {
+        assert!(BugType::BufferOverflow.patches_at_allocation());
+        assert!(BugType::UninitRead.patches_at_allocation());
+        assert!(!BugType::DanglingRead.patches_at_allocation());
+        assert!(!BugType::DanglingWrite.patches_at_allocation());
+        assert!(!BugType::DoubleFree.patches_at_allocation());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for b in BugType::ALL {
+            let s = serde_json::to_string(&b).unwrap();
+            assert_eq!(serde_json::from_str::<BugType>(&s).unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Environmental-change plans for diagnostic re-execution.
+//!
+//! A [`ChangePlan`] tells the allocator extension which environmental
+//! change to apply per bug type during one re-execution iteration
+//! (paper §4). The diagnosis engine composes plans:
+//!
+//! * phase 1 uses [`ChangePlan::all_preventive`] — every change in
+//!   preventive form on all objects;
+//! * phase 2 probes one bug type `b` with [`ChangePlan::probe`] — the
+//!   exposing change for `b`, preventive changes for the other undecided
+//!   and identified types;
+//! * the binary call-site search scopes the exposing change to half of the
+//!   candidate call-sites with [`Mode::ExposeOnly`], the rest receiving
+//!   the preventive change.
+
+use std::collections::HashSet;
+
+use fa_proc::CallSite;
+
+use crate::bugtype::BugType;
+
+/// How one bug type's environmental change is applied during re-execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Mode {
+    /// No change for this bug type.
+    #[default]
+    Off,
+    /// Apply the preventive change to all objects.
+    Prevent,
+    /// Apply the exposing change to all objects.
+    Expose,
+    /// Apply the exposing change to objects allocated/deallocated at the
+    /// given call-sites and the preventive change everywhere else — the
+    /// binary-search scoping of paper §4.2.
+    ExposeOnly(HashSet<CallSite>),
+    /// Apply the exposing change everywhere *except* the given call-sites,
+    /// which receive the preventive change — used by the multi-site search
+    /// to keep already-identified sites neutralized while hunting for the
+    /// next one.
+    ExposeExcept(HashSet<CallSite>),
+}
+
+impl Mode {
+    /// Returns `true` if this mode applies any change at all.
+    pub fn active(&self) -> bool {
+        !matches!(self, Mode::Off)
+    }
+
+    /// Returns `true` if the *exposing* change applies at `site`.
+    pub fn exposes(&self, site: CallSite) -> bool {
+        match self {
+            Mode::Off | Mode::Prevent => false,
+            Mode::Expose => true,
+            Mode::ExposeOnly(set) => set.contains(&site),
+            Mode::ExposeExcept(set) => !set.contains(&site),
+        }
+    }
+}
+
+/// The per-bug-type environmental changes for one re-execution iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChangePlan {
+    /// Buffer overflow: padding (preventive) / canary padding (exposing).
+    pub overflow: Mode,
+    /// Dangling read: delay free / canary-fill delayed objects.
+    pub dangling_read: Mode,
+    /// Dangling write: delay free / canary-fill delayed objects.
+    pub dangling_write: Mode,
+    /// Double free: delay free + parameter check / parameter check.
+    pub double_free: Mode,
+    /// Uninitialized read: zero-fill / canary-fill new objects.
+    pub uninit_read: Mode,
+    /// Heap marking (paper §4.1, Fig. 3): canary-fill free chunks before
+    /// re-execution so pre-checkpoint bug triggers still manifest.
+    pub heap_marking: bool,
+}
+
+impl ChangePlan {
+    /// No changes at all — plain re-execution (the phase-1 probe for
+    /// nondeterministic bugs uses this together with a timing change).
+    pub fn none() -> ChangePlan {
+        ChangePlan::default()
+    }
+
+    /// Every change in preventive form, applied to all objects (phase 1).
+    pub fn all_preventive() -> ChangePlan {
+        ChangePlan {
+            overflow: Mode::Prevent,
+            dangling_read: Mode::Prevent,
+            dangling_write: Mode::Prevent,
+            double_free: Mode::Prevent,
+            uninit_read: Mode::Prevent,
+            heap_marking: false,
+        }
+    }
+
+    /// Phase-2 probe: exposing change for `expose`, preventive changes for
+    /// every type in `prevent`, nothing for the rest.
+    pub fn probe(expose: BugType, prevent: &[BugType]) -> ChangePlan {
+        let mut plan = ChangePlan::none();
+        for &b in prevent {
+            if b != expose {
+                *plan.mode_mut(b) = Mode::Prevent;
+            }
+        }
+        *plan.mode_mut(expose) = Mode::Expose;
+        plan
+    }
+
+    /// Returns the mode for a bug type.
+    pub fn mode(&self, bug: BugType) -> &Mode {
+        match bug {
+            BugType::BufferOverflow => &self.overflow,
+            BugType::DanglingRead => &self.dangling_read,
+            BugType::DanglingWrite => &self.dangling_write,
+            BugType::DoubleFree => &self.double_free,
+            BugType::UninitRead => &self.uninit_read,
+        }
+    }
+
+    /// Returns the mode for a bug type, mutably.
+    pub fn mode_mut(&mut self, bug: BugType) -> &mut Mode {
+        match bug {
+            BugType::BufferOverflow => &mut self.overflow,
+            BugType::DanglingRead => &mut self.dangling_read,
+            BugType::DanglingWrite => &mut self.dangling_write,
+            BugType::DoubleFree => &mut self.double_free,
+            BugType::UninitRead => &mut self.uninit_read,
+        }
+    }
+
+    /// Returns `true` if frees must be delayed under this plan.
+    ///
+    /// Any active dangling or double-free change implies delay-free:
+    /// the preventive form delays recycling, the exposing form delays it
+    /// *and* canary-fills (paper Table 1).
+    pub fn delays_frees(&self) -> bool {
+        self.dangling_read.active() || self.dangling_write.active() || self.double_free.active()
+    }
+
+    /// Returns `true` if a freed object at dealloc call-site `site` must
+    /// be canary-filled (exposing form of the dangling changes).
+    pub fn canary_on_free(&self, site: CallSite) -> bool {
+        self.dangling_read.exposes(site) || self.dangling_write.exposes(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_sets_expose_and_prevent() {
+        let plan = ChangePlan::probe(
+            BugType::BufferOverflow,
+            &[BugType::DanglingRead, BugType::DoubleFree],
+        );
+        assert_eq!(plan.overflow, Mode::Expose);
+        assert_eq!(plan.dangling_read, Mode::Prevent);
+        assert_eq!(plan.double_free, Mode::Prevent);
+        assert_eq!(plan.uninit_read, Mode::Off);
+    }
+
+    #[test]
+    fn probe_expose_wins_over_prevent() {
+        // Even if the expose target is also listed in prevent, exposing
+        // takes precedence (Su ∪ Si − {b} semantics).
+        let plan = ChangePlan::probe(BugType::UninitRead, &BugType::ALL);
+        assert_eq!(plan.uninit_read, Mode::Expose);
+        assert_eq!(plan.overflow, Mode::Prevent);
+    }
+
+    #[test]
+    fn delay_free_implied_by_dangling_changes() {
+        assert!(!ChangePlan::none().delays_frees());
+        assert!(ChangePlan::all_preventive().delays_frees());
+        let plan = ChangePlan::probe(BugType::DoubleFree, &[]);
+        assert!(plan.delays_frees());
+    }
+
+    #[test]
+    fn expose_only_scopes_by_site() {
+        let site_a = CallSite([1, 0, 0]);
+        let site_b = CallSite([2, 0, 0]);
+        let mode = Mode::ExposeOnly([site_a].into_iter().collect());
+        assert!(mode.exposes(site_a));
+        assert!(!mode.exposes(site_b));
+        assert!(mode.active());
+    }
+
+    #[test]
+    fn expose_except_inverts_scope() {
+        let site_a = CallSite([1, 0, 0]);
+        let site_b = CallSite([2, 0, 0]);
+        let mode = Mode::ExposeExcept([site_a].into_iter().collect());
+        assert!(!mode.exposes(site_a));
+        assert!(mode.exposes(site_b));
+        assert!(mode.active());
+    }
+
+    #[test]
+    fn canary_on_free_follows_exposure_scope() {
+        let site_a = CallSite([1, 0, 0]);
+        let site_b = CallSite([2, 0, 0]);
+        let mut plan = ChangePlan::all_preventive();
+        plan.dangling_read = Mode::ExposeOnly([site_a].into_iter().collect());
+        assert!(plan.canary_on_free(site_a));
+        assert!(!plan.canary_on_free(site_b));
+    }
+}

@@ -1,0 +1,195 @@
+//! Manifestations and traces.
+//!
+//! Two event families flow out of the allocator extension:
+//!
+//! * [`Manifestation`]s — the diagnosis-time evidence the engine uses to
+//!   conclude "bug type b occurred" and to identify the bug-triggering
+//!   call-sites (canary corruption, double-free parameter checks, heap-mark
+//!   corruption);
+//! * [`TraceEvent`]s — the validation-time record of memory management
+//!   operations, patch triggering, and illegal accesses that feeds the
+//!   consistency check (paper §5) and the bug report (paper Fig. 5).
+
+use fa_mem::{AccessKind, Addr};
+use fa_proc::CallSite;
+
+use crate::bugtype::BugType;
+
+/// Diagnosis-time evidence that a bug manifested during re-execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Manifestation {
+    /// Canary corruption in the padding of a live object — a buffer
+    /// overflow on that object.
+    PaddingCorrupt {
+        /// Allocation call-site of the overflowed object.
+        alloc_site: CallSite,
+        /// User pointer of the overflowed object.
+        user: Addr,
+        /// The corrupted side and first bad offset within the padding.
+        right_side: bool,
+        /// First corrupted byte offset within the padding region.
+        offset: u64,
+    },
+    /// Canary corruption inside a delay-freed object — a dangling write.
+    QuarantineCorrupt {
+        /// Deallocation call-site that freed the object.
+        freed_site: CallSite,
+        /// Allocation call-site of the object.
+        alloc_site: CallSite,
+        /// User pointer of the corrupted quarantined object.
+        user: Addr,
+        /// First corrupted byte offset within the object.
+        offset: u64,
+    },
+    /// A deallocation parameter named an object that is already free.
+    DoubleFree {
+        /// Call-site of the second (offending) free.
+        dealloc_site: CallSite,
+        /// Call-site of the first free — the patch point: delaying the
+        /// first free keeps the object resident so later frees are caught
+        /// by the parameter check and ignored.
+        first_free_site: CallSite,
+        /// The doubly freed pointer.
+        user: Addr,
+    },
+    /// Canary corruption in a heap-marked free region: a bug triggered
+    /// *before* the checkpoint (paper §4.1, Fig. 3).
+    MarkCorrupt {
+        /// Address of the first corrupted marked byte.
+        addr: Addr,
+    },
+}
+
+impl Manifestation {
+    /// Returns the bug type this manifestation is evidence of, when it
+    /// maps to exactly one.
+    pub fn bug_type(&self) -> Option<BugType> {
+        match self {
+            Manifestation::PaddingCorrupt { .. } => Some(BugType::BufferOverflow),
+            Manifestation::QuarantineCorrupt { .. } => Some(BugType::DanglingWrite),
+            Manifestation::DoubleFree { .. } => Some(BugType::DoubleFree),
+            Manifestation::MarkCorrupt { .. } => None,
+        }
+    }
+}
+
+/// Classification of an illegal access observed by the Pin-analog tracer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IllegalKind {
+    /// A write into an object's padding (an overflow neutralized by the
+    /// padding change).
+    PaddingWrite,
+    /// A read of a delay-freed object (a dangling read neutralized by the
+    /// delay-free change).
+    QuarantineRead,
+    /// A write to a delay-freed object (a dangling write neutralized by
+    /// the delay-free change).
+    QuarantineWrite,
+    /// A read of never-written bytes of an object (an uninitialized read,
+    /// neutralized by the zero-fill change when patched).
+    UninitRead,
+}
+
+/// One entry of the validation-mode trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A `malloc` completed.
+    Alloc {
+        /// Allocation sequence number.
+        seq: u64,
+        /// User pointer returned to the application.
+        user: Addr,
+        /// Requested size.
+        size: u64,
+        /// Allocation call-site.
+        site: CallSite,
+        /// Index of the runtime patch that fired, if any.
+        patch: Option<usize>,
+    },
+    /// A `free` completed (or was delayed).
+    Dealloc {
+        /// Allocation sequence number of the freed object.
+        seq: u64,
+        /// Freed user pointer.
+        user: Addr,
+        /// Deallocation call-site.
+        site: CallSite,
+        /// Index of the runtime patch that delayed the free, if any.
+        delayed_by: Option<usize>,
+    },
+    /// An illegal access was observed (and neutralized by a change).
+    Illegal {
+        /// What kind of illegal access.
+        kind: IllegalKind,
+        /// Read or write.
+        access: AccessKind,
+        /// Call-site of the accessing code — the "instruction" of the
+        /// paper's illegal access trace.
+        access_site: CallSite,
+        /// Allocation sequence number of the touched object.
+        obj_seq: u64,
+        /// Offset of the access within the object (or its padding).
+        offset: u64,
+        /// Index of the runtime patch whose change neutralized it, if any.
+        patch: Option<usize>,
+    },
+}
+
+impl TraceEvent {
+    /// Returns `true` for illegal-access events.
+    pub fn is_illegal(&self) -> bool {
+        matches!(self, TraceEvent::Illegal { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifestation_bug_types() {
+        let m = Manifestation::PaddingCorrupt {
+            alloc_site: CallSite::default(),
+            user: Addr(1),
+            right_side: true,
+            offset: 0,
+        };
+        assert_eq!(m.bug_type(), Some(BugType::BufferOverflow));
+        let m = Manifestation::QuarantineCorrupt {
+            freed_site: CallSite::default(),
+            alloc_site: CallSite::default(),
+            user: Addr(1),
+            offset: 4,
+        };
+        assert_eq!(m.bug_type(), Some(BugType::DanglingWrite));
+        let m = Manifestation::DoubleFree {
+            dealloc_site: CallSite::default(),
+            first_free_site: CallSite::default(),
+            user: Addr(1),
+        };
+        assert_eq!(m.bug_type(), Some(BugType::DoubleFree));
+        let m = Manifestation::MarkCorrupt { addr: Addr(1) };
+        assert_eq!(m.bug_type(), None);
+    }
+
+    #[test]
+    fn illegal_predicate() {
+        let e = TraceEvent::Alloc {
+            seq: 0,
+            user: Addr(1),
+            size: 8,
+            site: CallSite::default(),
+            patch: None,
+        };
+        assert!(!e.is_illegal());
+        let e = TraceEvent::Illegal {
+            kind: IllegalKind::PaddingWrite,
+            access: AccessKind::Write,
+            access_site: CallSite::default(),
+            obj_seq: 0,
+            offset: 3,
+            patch: Some(0),
+        };
+        assert!(e.is_illegal());
+    }
+}

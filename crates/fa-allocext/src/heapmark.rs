@@ -1,0 +1,200 @@
+//! Heap marking (paper §4.1, Fig. 3).
+//!
+//! Phase 1 of the diagnosis must find the *latest checkpoint before the
+//! bug-triggering point*. Preventive changes applied from a checkpoint
+//! *after* the trigger can accidentally avoid the failure by disturbing
+//! the heap layout (the dangling write that corrupted object `E` misses it
+//! once padding moves `E` elsewhere), which would misidentify the
+//! checkpoint.
+//!
+//! Heap marking closes the hole: before re-executing from a checkpoint,
+//! every free chunk in the heap is filled with canary values and a canary
+//! pad is placed after the last object (the top chunk). A bug that
+//! triggered *before* the checkpoint — a dangling write or overflow into
+//! memory that is now free — corrupts the marks and is detected by the
+//! post-run scan even if the original failure is masked. Dangling *reads*
+//! of such memory return canary data, so the failure still occurs.
+
+use fa_mem::SimMemory;
+use fa_proc::{AllocBackend, Fault};
+
+use crate::canary::{check_canary, fill_canary};
+use crate::events::Manifestation;
+use crate::ext::ExtAllocator;
+
+/// How many bytes of the top chunk's user area are marked.
+const TOP_MARK_BYTES: u64 = 4096;
+
+impl ExtAllocator {
+    /// Canary-fills all free chunks and the head of the top chunk,
+    /// recording the marked ranges.
+    ///
+    /// Marks are trimmed automatically when the allocator legitimately
+    /// reuses marked memory. While any mark is live, quarantine eviction
+    /// is suspended (real frees would scribble cookies into marked
+    /// regions).
+    pub fn mark_heap(&mut self, mem: &mut SimMemory) -> Result<(), Fault> {
+        self.marks.clear();
+        let chunks = self.heap().walk(mem)?;
+        let mut marks = Vec::new();
+        for c in &chunks {
+            if c.in_use {
+                continue;
+            }
+            let (start, len) = if c.is_top {
+                (c.user, c.usable().min(TOP_MARK_BYTES))
+            } else {
+                (c.user, c.usable())
+            };
+            if len == 0 {
+                continue;
+            }
+            fill_canary(mem, start, len)?;
+            marks.push((start.0, len));
+        }
+        self.marks = marks;
+        Ok(())
+    }
+
+    /// Scans the marked ranges for corruption, appending
+    /// [`Manifestation::MarkCorrupt`] for each damaged range.
+    pub fn scan_marks(&mut self, mem: &mut SimMemory) -> Result<(), Fault> {
+        let marks = self.marks.clone();
+        for (start, len) in marks {
+            if let Some((off, _)) = check_canary(mem, fa_mem::Addr(start), len)? {
+                self.push_mark_corrupt(fa_mem::Addr(start + off));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if any heap marks are live.
+    pub fn has_marks(&self) -> bool {
+        !self.marks.is_empty()
+    }
+
+    /// Drops all marks (end of a phase-1 iteration).
+    pub fn clear_marks(&mut self) {
+        self.marks.clear();
+    }
+
+    fn push_mark_corrupt(&mut self, addr: fa_mem::Addr) {
+        // Route through a small helper to keep the manifests list private.
+        self.push_manifestation(Manifestation::MarkCorrupt { addr });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::ChangePlan;
+    use fa_heap::Heap;
+    use fa_mem::Addr;
+    use fa_proc::{CallSite, Clock};
+
+    fn setup() -> (SimMemory, ExtAllocator, Clock) {
+        let mut mem = SimMemory::new();
+        let heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
+        (mem, ExtAllocator::attach(heap), Clock::new())
+    }
+
+    fn site(id: u64) -> CallSite {
+        CallSite([id, 0, 0])
+    }
+
+    #[test]
+    fn marks_cover_free_chunks_and_top() {
+        let (mut mem, mut ext, mut clock) = setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let _b = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap(); // real free: binned chunk
+        ext.set_diagnostic(ChangePlan::all_preventive());
+        ext.mark_heap(&mut mem).unwrap();
+        assert!(ext.has_marks());
+        // The freed chunk's user area is canary now.
+        assert_eq!(
+            mem.read_u8(a).unwrap(),
+            crate::CANARY_BYTE,
+            "freed chunk must be marked"
+        );
+        ext.scan_marks(&mut mem).unwrap();
+        assert!(ext.manifestations().is_empty(), "no corruption yet");
+    }
+
+    #[test]
+    fn pre_checkpoint_dangling_write_detected_via_marks() {
+        let (mut mem, mut ext, mut clock) = setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let _b = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        // Bug triggers BEFORE the checkpoint: object freed, dangling
+        // pointer retained.
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        // "Checkpoint" and re-execution with marking.
+        ext.set_diagnostic(ChangePlan::all_preventive());
+        ext.mark_heap(&mut mem).unwrap();
+        // The dangling write happens during re-execution into memory freed
+        // before the checkpoint — into a marked region.
+        mem.write_u64(a.offset(16), 0xbad).unwrap();
+        ext.scan_marks(&mut mem).unwrap();
+        assert!(
+            ext.manifestations()
+                .iter()
+                .any(|m| matches!(m, Manifestation::MarkCorrupt { .. })),
+            "mark corruption must expose the pre-checkpoint bug"
+        );
+    }
+
+    #[test]
+    fn reuse_of_marked_memory_trims_marks() {
+        let (mut mem, mut ext, mut clock) = setup();
+        let a = ext.malloc(&mut mem, &mut clock, 256, site(1)).unwrap();
+        let _b = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        ext.set_diagnostic(ChangePlan::none());
+        ext.mark_heap(&mut mem).unwrap();
+        // Reuse the marked chunk; the app writes to it legitimately.
+        let c = ext.malloc(&mut mem, &mut clock, 256, site(3)).unwrap();
+        assert_eq!(c, a);
+        mem.fill(c, 256, 0x11).unwrap();
+        ext.scan_marks(&mut mem).unwrap();
+        assert!(
+            ext.manifestations().is_empty(),
+            "legitimate reuse must not read as corruption: {:?}",
+            ext.manifestations()
+        );
+    }
+
+    #[test]
+    fn top_allocation_after_marking_is_clean() {
+        let (mut mem, mut ext, mut clock) = setup();
+        let _a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.set_diagnostic(ChangePlan::none());
+        ext.mark_heap(&mut mem).unwrap();
+        // Allocations carve the (marked) top chunk.
+        for i in 0..5 {
+            let p = ext.malloc(&mut mem, &mut clock, 128, site(2 + i)).unwrap();
+            mem.fill(p, 128, 0x22).unwrap();
+        }
+        ext.scan_marks(&mut mem).unwrap();
+        assert!(
+            ext.manifestations().is_empty(),
+            "top carving must not trip marks: {:?}",
+            ext.manifestations()
+        );
+    }
+
+    #[test]
+    fn clear_marks_disables_detection() {
+        let (mut mem, mut ext, mut clock) = setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let _b = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        ext.set_diagnostic(ChangePlan::none());
+        ext.mark_heap(&mut mem).unwrap();
+        ext.clear_marks();
+        assert!(!ext.has_marks());
+        mem.write_u64(a.offset(16), 0xbad).unwrap();
+        ext.scan_marks(&mut mem).unwrap();
+        assert!(ext.manifestations().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! A small interval set for tracking initialized byte ranges.
+//!
+//! Used to detect reads-before-initialization: each object tracks which of
+//! its bytes have been written; a read overlapping an unwritten range is an
+//! illegal access of kind [`crate::IllegalKind::UninitRead`] in validation
+//! traces.
+
+/// A set of disjoint, sorted, half-open `[start, end)` intervals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Disjoint, non-adjacent, sorted intervals.
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging with existing runs.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find all runs overlapping or adjacent to [start, end).
+        let lo = self.runs.partition_point(|&(_, e)| e < start);
+        let hi = self.runs.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.runs.insert(lo, (start, end));
+            return;
+        }
+        let new_start = start.min(self.runs[lo].0);
+        let new_end = end.max(self.runs[hi - 1].1);
+        self.runs.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Returns `true` if every byte of `[start, end)` is covered.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let idx = self.runs.partition_point(|&(s, _)| s <= start);
+        match idx.checked_sub(1).map(|i| self.runs[i]) {
+            Some((_, e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if any byte of `[start, end)` is covered.
+    pub fn intersects(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let lo = self.runs.partition_point(|&(_, e)| e <= start);
+        self.runs.get(lo).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// Returns the number of runs (for tests).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns the total number of covered bytes.
+    pub fn covered_bytes(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_cover() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        assert!(s.covers(10, 20));
+        assert!(s.covers(12, 15));
+        assert!(!s.covers(5, 12));
+        assert!(!s.covers(15, 25));
+        assert!(!s.covers(30, 31));
+    }
+
+    #[test]
+    fn merging_adjacent_and_overlapping() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.run_count(), 2);
+        s.insert(10, 20); // bridges
+        assert_eq!(s.run_count(), 1);
+        assert!(s.covers(0, 30));
+    }
+
+    #[test]
+    fn overlapping_insert_extends() {
+        let mut s = IntervalSet::new();
+        s.insert(5, 15);
+        s.insert(10, 25);
+        assert_eq!(s.run_count(), 1);
+        assert!(s.covers(5, 25));
+        assert_eq!(s.covered_bytes(), 20);
+    }
+
+    #[test]
+    fn intersects_detects_partial_overlap() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        assert!(s.intersects(15, 30));
+        assert!(s.intersects(0, 11));
+        assert!(!s.intersects(0, 10));
+        assert!(!s.intersects(20, 30));
+    }
+
+    #[test]
+    fn empty_ranges_are_noops() {
+        let mut s = IntervalSet::new();
+        s.insert(5, 5);
+        assert_eq!(s.run_count(), 0);
+        assert!(s.covers(7, 7));
+        assert!(!s.intersects(0, 0));
+    }
+
+    #[test]
+    fn many_inserts_stay_normalized() {
+        let mut s = IntervalSet::new();
+        for i in (0..100).step_by(2) {
+            s.insert(i, i + 1);
+        }
+        assert_eq!(s.run_count(), 50);
+        for i in (1..100).step_by(2) {
+            s.insert(i, i + 1);
+        }
+        assert_eq!(s.run_count(), 1);
+        assert!(s.covers(0, 100));
+    }
+}

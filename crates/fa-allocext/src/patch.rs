@@ -1,0 +1,243 @@
+//! Runtime patches.
+//!
+//! A runtime patch is "a pair of a preventive change corresponding to the
+//! identified bug type and a patch application point" (paper §2), where the
+//! application point is the allocation or deallocation call-site of the
+//! bug-triggering memory objects. Patches are serializable: First-Aid
+//! stores them persistently per program so subsequent runs and other
+//! processes of the same executable are protected.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fa_proc::{CallSite, SymbolTable};
+
+use crate::bugtype::BugType;
+
+/// The preventive change a patch applies (paper Table 1, column 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PreventiveChange {
+    /// Pad both ends of objects allocated at the patch point.
+    AddPadding,
+    /// Delay recycling of objects freed at the patch point.
+    DelayFree,
+    /// Zero-fill objects allocated at the patch point.
+    FillZero,
+}
+
+impl PreventiveChange {
+    /// The canonical preventive change for a bug type.
+    pub fn for_bug(bug: BugType) -> PreventiveChange {
+        match bug {
+            BugType::BufferOverflow => PreventiveChange::AddPadding,
+            BugType::DanglingRead | BugType::DanglingWrite | BugType::DoubleFree => {
+                PreventiveChange::DelayFree
+            }
+            BugType::UninitRead => PreventiveChange::FillZero,
+        }
+    }
+
+    /// Short label used in bug reports ("delay free", "add padding", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            PreventiveChange::AddPadding => "add padding",
+            PreventiveChange::DelayFree => "delay free",
+            PreventiveChange::FillZero => "fill with zero",
+        }
+    }
+}
+
+/// A runtime patch: a preventive change bound to a call-site.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Patch {
+    /// The diagnosed bug type this patch neutralizes.
+    pub bug: BugType,
+    /// The preventive change to apply.
+    pub change: PreventiveChange,
+    /// The allocation/deallocation call-site it applies at.
+    pub site: CallSite,
+    /// Human-readable names of the call-site frames (innermost first),
+    /// for bug reports and logs.
+    pub site_names: Vec<String>,
+}
+
+impl Patch {
+    /// Builds a patch for `bug` at `site`, resolving names via `symbols`.
+    pub fn new(bug: BugType, site: CallSite, symbols: &SymbolTable) -> Patch {
+        Patch {
+            bug,
+            change: PreventiveChange::for_bug(bug),
+            site,
+            site_names: site
+                .0
+                .iter()
+                .filter(|&&id| id != fa_proc::NO_SITE)
+                .map(|&id| symbols.name(id).to_owned())
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if this patch fires at allocation call-sites.
+    pub fn at_allocation(&self) -> bool {
+        matches!(
+            self.change,
+            PreventiveChange::AddPadding | PreventiveChange::FillZero
+        )
+    }
+}
+
+/// The set of patches active in a process, indexed for O(1) call-site
+/// matching on the allocation/deallocation fast path.
+#[derive(Clone, Debug, Default)]
+pub struct PatchSet {
+    patches: Vec<Patch>,
+    by_alloc_site: HashMap<CallSite, usize>,
+    by_dealloc_site: HashMap<CallSite, usize>,
+}
+
+impl PatchSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PatchSet::default()
+    }
+
+    /// Builds a set from patches; later patches win on site collision.
+    pub fn from_patches(patches: impl IntoIterator<Item = Patch>) -> PatchSet {
+        let mut set = PatchSet::new();
+        for p in patches {
+            set.add(p);
+        }
+        set
+    }
+
+    /// Adds one patch.
+    pub fn add(&mut self, patch: Patch) {
+        let idx = self.patches.len();
+        if patch.at_allocation() {
+            self.by_alloc_site.insert(patch.site, idx);
+        } else {
+            self.by_dealloc_site.insert(patch.site, idx);
+        }
+        self.patches.push(patch);
+    }
+
+    /// Removes every patch at `site` (used when validation fails).
+    pub fn remove_site(&mut self, site: CallSite) {
+        self.patches.retain(|p| p.site != site);
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.by_alloc_site.clear();
+        self.by_dealloc_site.clear();
+        for (idx, p) in self.patches.iter().enumerate() {
+            if p.at_allocation() {
+                self.by_alloc_site.insert(p.site, idx);
+            } else {
+                self.by_dealloc_site.insert(p.site, idx);
+            }
+        }
+    }
+
+    /// Looks up the patch (if any) matching an allocation at `site`.
+    pub fn match_alloc(&self, site: CallSite) -> Option<(usize, &Patch)> {
+        self.by_alloc_site
+            .get(&site)
+            .map(|&idx| (idx, &self.patches[idx]))
+    }
+
+    /// Looks up the patch (if any) matching a deallocation at `site`.
+    pub fn match_dealloc(&self, site: CallSite) -> Option<(usize, &Patch)> {
+        self.by_dealloc_site
+            .get(&site)
+            .map(|&idx| (idx, &self.patches[idx]))
+    }
+
+    /// Returns all patches.
+    pub fn patches(&self) -> &[Patch] {
+        &self.patches
+    }
+
+    /// Returns the number of patches.
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Returns `true` if no patches are installed.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(id: u64) -> CallSite {
+        CallSite([id, 0, 0])
+    }
+
+    #[test]
+    fn canonical_changes_match_table1() {
+        assert_eq!(
+            PreventiveChange::for_bug(BugType::BufferOverflow),
+            PreventiveChange::AddPadding
+        );
+        assert_eq!(
+            PreventiveChange::for_bug(BugType::DanglingRead),
+            PreventiveChange::DelayFree
+        );
+        assert_eq!(
+            PreventiveChange::for_bug(BugType::DanglingWrite),
+            PreventiveChange::DelayFree
+        );
+        assert_eq!(
+            PreventiveChange::for_bug(BugType::DoubleFree),
+            PreventiveChange::DelayFree
+        );
+        assert_eq!(
+            PreventiveChange::for_bug(BugType::UninitRead),
+            PreventiveChange::FillZero
+        );
+    }
+
+    #[test]
+    fn matching_respects_application_point() {
+        let mut symbols = SymbolTable::new();
+        symbols.intern("f");
+        let overflow = Patch::new(BugType::BufferOverflow, site(1), &symbols);
+        let dangling = Patch::new(BugType::DanglingRead, site(2), &symbols);
+        let set = PatchSet::from_patches([overflow, dangling]);
+        assert!(set.match_alloc(site(1)).is_some());
+        assert!(set.match_dealloc(site(1)).is_none(), "padding is alloc-side");
+        assert!(set.match_dealloc(site(2)).is_some());
+        assert!(set.match_alloc(site(2)).is_none(), "delay free is dealloc-side");
+        assert!(set.match_alloc(site(9)).is_none());
+    }
+
+    #[test]
+    fn remove_site_drops_patch() {
+        let symbols = SymbolTable::new();
+        let mut set = PatchSet::from_patches([
+            Patch::new(BugType::BufferOverflow, site(1), &symbols),
+            Patch::new(BugType::UninitRead, site(2), &symbols),
+        ]);
+        assert_eq!(set.len(), 2);
+        set.remove_site(site(1));
+        assert_eq!(set.len(), 1);
+        assert!(set.match_alloc(site(1)).is_none());
+        assert!(set.match_alloc(site(2)).is_some());
+    }
+
+    #[test]
+    fn patch_serde_roundtrip() {
+        let mut symbols = SymbolTable::new();
+        let id = symbols.intern("util_ald_free");
+        let p = Patch::new(BugType::DanglingRead, CallSite([id, 0, 0]), &symbols);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Patch = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.site_names, vec!["util_ald_free".to_owned()]);
+    }
+}

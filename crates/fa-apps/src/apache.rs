@@ -1,0 +1,470 @@
+//! Apache httpd 2.0.51 — the LDAP-cache dangling-pointer-read bug, plus
+//! the two injected variants of the paper (`Apache-uir`, `Apache-dpw`).
+//!
+//! The real bug: `util_ald_cache_purge` frees LDAP cache entries while
+//! search nodes retain pointers to them; later cache fetches dereference
+//! the dangling pointers (paper Fig. 5 names `util_ald_free`,
+//! `util_ald_cache_purge`, `util_ldap_search_node_free`,
+//! `util_ald_cache_fetch`). This miniature reproduces the structure:
+//!
+//! * seven entry *classes*, each freed through its own wrapper under
+//!   `util_ald_cache_purge` — seven distinct deallocation call-sites, the
+//!   "delay free(7)" of paper Table 3;
+//! * the purge leaves stale search-node pointers; a revalidation pass runs
+//!   a few hundred requests later, so the failure surfaces ~2–3 checkpoint
+//!   intervals after the bug-triggering point (the paper notes exactly
+//!   this for Apache, explaining its longer recovery).
+
+use fa_mem::Addr;
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops understood by the Apache miniature.
+pub mod ops {
+    /// Fetch a static page of `a` bytes.
+    pub const GET: u32 = 0;
+    /// LDAP-backed lookup for key `a`.
+    pub const LDAP: u32 = 1;
+    /// LDAP maintenance — runs the buggy cache purge.
+    pub const MAINT: u32 = 2;
+    /// Parse a request with extended header flags (uninit-read variant).
+    pub const HDR: u32 = 3;
+    /// Close the client session (dangling-write variant).
+    pub const CLOSE: u32 = 4;
+}
+
+/// Magic stamped into every live cache entry.
+const MAGIC: u64 = 0x1dab_cafe_0451;
+/// Cache entry classes (each has its own free wrapper → 7 call-sites).
+const CLASSES: usize = 7;
+/// Names of the per-class free wrappers (modeled on the real module).
+const FREE_FNS: [&str; CLASSES] = [
+    "util_ldap_search_node_free",
+    "util_ldap_url_node_free",
+    "util_ldap_compare_node_free",
+    "util_ldap_dn_compare_node_free",
+    "util_ldap_netgroup_node_free",
+    "util_ldap_binddn_free",
+    "util_ldap_vals_free",
+];
+/// Requests between the purge and the revalidation that trips over the
+/// dangling pointers (~2.5 checkpoint intervals at the default request
+/// rate).
+const REVALIDATE_DELAY: u64 = 250;
+/// Cache entry payload size.
+const ENTRY_SIZE: u64 = 256;
+
+/// Which injected variant this instance runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Variant {
+    /// The real dangling-read bug.
+    Base,
+    /// Injected uninitialized read in header parsing.
+    Uir,
+    /// Injected dangling write in session teardown.
+    Dpw,
+}
+
+#[derive(Clone)]
+struct Entry {
+    addr: Addr,
+    key: u64,
+}
+
+/// The Apache miniature.
+#[derive(Clone)]
+pub struct Apache {
+    variant: Variant,
+    /// util_ald_cache: current entry per class.
+    cache: Vec<Option<Entry>>,
+    /// Dangling search-node pointers left by the buggy purge.
+    stale_nodes: Vec<(usize, Entry)>,
+    /// Request count; drives the delayed revalidation.
+    req_counter: u64,
+    /// When set, revalidation runs at this request count.
+    revalidate_at: Option<u64>,
+    /// Dangling-write variant: stale session pointer + the stats block
+    /// that reuses its chunk.
+    dpw_stale: Option<Addr>,
+    dpw_stats: Option<Addr>,
+    dpw_due: Option<u64>,
+}
+
+impl Apache {
+    /// Creates the base (dangling-read) variant.
+    pub fn new() -> Apache {
+        Apache::with_variant(Variant::Base)
+    }
+
+    fn with_variant(variant: Variant) -> Apache {
+        Apache {
+            variant,
+            cache: vec![None; CLASSES],
+            stale_nodes: Vec::new(),
+            req_counter: 0,
+            revalidate_at: None,
+            dpw_stale: None,
+            dpw_stats: None,
+            dpw_due: None,
+        }
+    }
+
+    fn cache_insert(
+        &mut self,
+        ctx: &mut ProcessCtx,
+        class: usize,
+        key: u64,
+    ) -> Result<Addr, Fault> {
+        ctx.call("util_ald_cache_insert", |ctx| {
+            let addr = ctx.call("util_ald_alloc", |ctx| ctx.malloc(ENTRY_SIZE))?;
+            ctx.write_u64(addr, MAGIC)?;
+            ctx.write_u64(addr.offset(8), key)?;
+            ctx.fill(addr.offset(16), ENTRY_SIZE - 16, (key % 251) as u8)?;
+            Ok(addr)
+        })
+        .inspect(|&addr| {
+            self.cache[class] = Some(Entry { addr, key });
+        })
+    }
+
+    fn cache_fetch(ctx: &mut ProcessCtx, entry: &Entry) -> Result<(), Fault> {
+        ctx.call("util_ald_cache_fetch", |ctx| {
+            let magic = ctx.read_u64(entry.addr)?;
+            let key = ctx.read_u64(entry.addr.offset(8))?;
+            ctx.check(
+                magic == MAGIC && key == entry.key,
+                "ldap cache entry integrity check failed",
+            )?;
+            let _ = ctx.read_bytes(entry.addr.offset(16), 64)?;
+            Ok(())
+        })
+    }
+
+    /// The buggy purge: frees every cached entry through its class's
+    /// wrapper, but leaves the search-node pointers behind.
+    fn cache_purge(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        let entries: Vec<(usize, Entry)> = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter_map(|(c, e)| e.clone().map(|e| (c, e)))
+            .collect();
+        ctx.call("util_ald_cache_purge", |ctx| {
+            for (class, entry) in &entries {
+                ctx.call(FREE_FNS[*class], |ctx| {
+                    ctx.call("util_ald_free", |ctx| ctx.free(entry.addr))
+                })?;
+            }
+            Ok(())
+        })?;
+        for (class, entry) in entries {
+            self.cache[class] = None;
+            // BUG: search nodes keep referencing the freed entries.
+            self.stale_nodes.push((class, entry));
+        }
+        self.revalidate_at = Some(self.req_counter + REVALIDATE_DELAY);
+        Ok(())
+    }
+
+    /// Walks the (dangling) search nodes — the failure point.
+    fn revalidate(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        let nodes = std::mem::take(&mut self.stale_nodes);
+        ctx.call("util_ldap_revalidate", |ctx| {
+            for (_class, entry) in &nodes {
+                Apache::cache_fetch(ctx, entry)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn serve_page(ctx: &mut ProcessCtx, size: u64) -> Result<Response, Fault> {
+        ctx.call("ap_process_request", |ctx| {
+            let size = size.clamp(1024, 65_536);
+            let buf = ctx.call("ap_rgetline_alloc", |ctx| ctx.malloc(size))?;
+            ctx.fill(buf, size, 0x42)?;
+            ctx.free(buf)?;
+            Ok(Response::bytes(size))
+        })
+    }
+
+    /// Injected uninitialized read (Apache-uir): the flags buffer is
+    /// assumed zeroed, but it recycles a dirtied chunk.
+    fn parse_headers(ctx: &mut ProcessCtx) -> Result<Response, Fault> {
+        ctx.call("ap_parse_headers", |ctx| {
+            // A scratch buffer dirties the chunk that the flags buffer
+            // will reuse.
+            let scratch = ctx.call("ap_scratch_alloc", |ctx| ctx.malloc(128))?;
+            ctx.fill(scratch, 128, 0x6b)?;
+            ctx.free(scratch)?;
+            let flags = ctx.call("ap_flags_alloc", |ctx| ctx.malloc(128))?;
+            let flag = ctx.read_u8(flags.offset(65))?;
+            ctx.check(flag <= 1, "invalid header flag bits")?;
+            ctx.free(flags)?;
+            Ok(Response::bytes(512))
+        })
+    }
+
+    /// Injected dangling write (Apache-dpw): session teardown frees the
+    /// connection buffer without clearing the pointer; a keepalive timer
+    /// keeps writing through it.
+    fn close_session(&mut self, ctx: &mut ProcessCtx) -> Result<Response, Fault> {
+        if self.dpw_stale.is_none() {
+            // Lazily create the session buffer on first close request.
+            let s = ctx.call("ap_session_alloc", |ctx| ctx.malloc(96))?;
+            ctx.fill(s, 96, 0)?;
+            self.dpw_stale = Some(s);
+        }
+        let stale = self.dpw_stale.unwrap();
+        ctx.call("ap_session_close", |ctx| ctx.free(stale))?;
+        // The scoreboard immediately reuses the chunk for its counters.
+        let stats = ctx.call("ap_scoreboard_alloc", |ctx| ctx.malloc(96))?;
+        ctx.fill(stats, 96, 0)?;
+        self.dpw_stats = Some(stats);
+        self.dpw_due = Some(self.req_counter + 12);
+        Ok(Response::bytes(1))
+    }
+
+    fn keepalive_tick(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        let (Some(stale), Some(stats)) = (self.dpw_stale, self.dpw_stats) else {
+            return Ok(());
+        };
+        // BUG: the keepalive timer writes through the stale pointer,
+        // corrupting the scoreboard counters that reused the chunk.
+        ctx.call("ap_keepalive_touch", |ctx| {
+            ctx.write_u64(stale.offset(24), 0xdede_dede)
+        })?;
+        let v = ctx.read_u64(stats.offset(24))?;
+        ctx.check(v < 1_000_000, "scoreboard counter out of range")?;
+        ctx.write_u64(stats.offset(24), v + 1)?;
+        self.dpw_stale = None;
+        self.dpw_stats = None;
+        self.dpw_due = None;
+        Ok(())
+    }
+}
+
+impl Default for Apache {
+    fn default() -> Self {
+        Apache::new()
+    }
+}
+
+/// Virtual request-processing cost (parsing, syscalls) per request, ns.
+const REQ_COST_NS: u64 = 80_000;
+
+impl App for Apache {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            Variant::Base => "apache",
+            Variant::Uir => "apache-uir",
+            Variant::Dpw => "apache-dpw",
+        }
+    }
+
+    fn init(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        ctx.call("ap_ldap_init", |ctx| {
+            for class in 0..CLASSES {
+                self.cache_insert(ctx, class, class as u64 + 1)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        ctx.clock.advance(REQ_COST_NS);
+        self.req_counter += 1;
+        // Delayed events fire before the request proper.
+        if self.revalidate_at.is_some_and(|t| self.req_counter >= t) {
+            self.revalidate_at = None;
+            self.revalidate(ctx)?;
+        }
+        if self.dpw_due.is_some_and(|t| self.req_counter >= t) {
+            self.keepalive_tick(ctx)?;
+        }
+        match input.op {
+            ops::LDAP => ctx.call("util_ldap_handler", |ctx| {
+                let key = input.a;
+                let class = (key as usize) % CLASSES;
+                match self.cache[class].clone() {
+                    Some(entry) if entry.key == key => {
+                        Apache::cache_fetch(ctx, &entry)?;
+                    }
+                    _ => {
+                        let addr = self.cache_insert(ctx, class, key)?;
+                        let _ = ctx.read_u64(addr)?;
+                    }
+                }
+                Ok(Response::bytes(2048))
+            }),
+            ops::MAINT => {
+                ctx.call("util_ldap_maintenance", |ctx| self.cache_purge(ctx))?;
+                Ok(Response::bytes(64))
+            }
+            ops::HDR => Apache::parse_headers(ctx),
+            ops::CLOSE => self.close_session(ctx),
+            _ => Apache::serve_page(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workloads + specs
+// ---------------------------------------------------------------------
+
+fn workload_with(trigger_op: u32, spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                return InputBuilder::op(trigger_op).a(9).gap_us(2_000).buggy().build();
+            }
+            if rng.random_ratio(2, 5) {
+                // Keys drawn fresh after purges so re-inserts reuse chunks.
+                InputBuilder::op(ops::LDAP)
+                    .a(rng.random_range(1u64..2_000))
+                    .gap_us(2_000)
+                    .build()
+            } else {
+                InputBuilder::op(ops::GET)
+                    .a(rng.random_range(4_096u64..32_768))
+                    .gap_us(2_000)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// The real dangling-read case (paper Table 2 row 1).
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "apache",
+        display: "Apache",
+        version: "2.0.51",
+        loc: "263K",
+        description: "web server",
+        bug_desc: "dangling pointer read",
+        expect_bug: BugType::DanglingRead,
+        expect_sites: 7,
+        build: || Box::new(Apache::new()),
+        workload: |w| workload_with(ops::MAINT, w),
+    }
+}
+
+/// The injected uninitialized-read case (Apache-uir).
+pub fn spec_uir() -> AppSpec {
+    AppSpec {
+        key: "apache-uir",
+        display: "Apache-uir",
+        version: "2.0.51",
+        loc: "263K",
+        description: "web server (injected uninitialized read)",
+        bug_desc: "uninitialized read",
+        expect_bug: BugType::UninitRead,
+        expect_sites: 1,
+        build: || Box::new(Apache::with_variant(Variant::Uir)),
+        workload: |w| workload_with(ops::HDR, w),
+    }
+}
+
+/// The injected dangling-write case (Apache-dpw).
+pub fn spec_dpw() -> AppSpec {
+    AppSpec {
+        key: "apache-dpw",
+        display: "Apache-dpw",
+        version: "2.0.51",
+        loc: "263K",
+        description: "web server (injected dangling pointer write)",
+        bug_desc: "dangling pointer write",
+        expect_bug: BugType::DanglingWrite,
+        expect_sites: 1,
+        build: || Box::new(Apache::with_variant(Variant::Dpw)),
+        workload: |w| workload_with(ops::CLOSE, w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch(variant: Variant) -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Apache::with_variant(variant)), ctx).unwrap()
+    }
+
+    #[test]
+    fn normal_traffic_is_clean() {
+        let mut p = launch(Variant::Base);
+        let w = workload_with(ops::MAINT, &WorkloadSpec::new(300, &[]));
+        for input in w {
+            assert!(p.feed(input).is_ok());
+        }
+        assert!(p.failure.is_none());
+    }
+
+    #[test]
+    fn purge_causes_delayed_dangling_read_failure() {
+        let mut p = launch(Variant::Base);
+        let w = workload_with(ops::MAINT, &WorkloadSpec::new(600, &[100]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("dangling read must eventually fail");
+        assert!(
+            failed_at > 100 + 200,
+            "failure must come well after the trigger (got {failed_at})"
+        );
+        let fault = &p.failure.as_ref().unwrap().fault;
+        assert_eq!(fault.class(), "assertion");
+    }
+
+    #[test]
+    fn uir_variant_fails_at_trigger() {
+        let mut p = launch(Variant::Uir);
+        let w = workload_with(ops::HDR, &WorkloadSpec::new(120, &[60]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(60), "uninit read fails at the trigger");
+    }
+
+    #[test]
+    fn dpw_variant_fails_shortly_after_trigger() {
+        let mut p = launch(Variant::Dpw);
+        let w = workload_with(ops::CLOSE, &WorkloadSpec::new(120, &[60]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("dangling write must fail");
+        assert!((61..=75).contains(&failed_at), "failed at {failed_at}");
+    }
+
+    #[test]
+    fn seven_distinct_free_wrappers() {
+        let names: std::collections::HashSet<&str> = FREE_FNS.iter().copied().collect();
+        assert_eq!(names.len(), CLASSES);
+    }
+}

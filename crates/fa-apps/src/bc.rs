@@ -1,0 +1,193 @@
+//! BC 1.06 — two buffer overflows in the interpreter's storage growth.
+//!
+//! The real bugs: `more_arrays` (and its sibling for variables) grows the
+//! interpreter's storage arrays with an off-by-a-few element count, writing
+//! initialization entries past the end of the new allocation. The same
+//! growth routine is reached from two paths (array names and auto
+//! variables) and the string store has a second overflow, so one exposing
+//! run reveals **three** corrupted paddings — the "add padding(3)" of
+//! paper Table 3.
+
+use fa_mem::Addr;
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Evaluate a simple expression (`a` operations).
+    pub const EVAL: u32 = 0;
+    /// Run a program that exhausts storage — the buggy growth paths.
+    pub const GROW: u32 = 1;
+}
+
+/// The BC miniature.
+#[derive(Clone, Default)]
+pub struct Bc {
+    arrays: Option<Addr>,
+    variables: Option<Addr>,
+    count: u64,
+}
+
+impl Bc {
+    /// BUG 1: writes `count + 2` entries into an allocation sized for
+    /// `count` (off-by-two elements = 16 bytes).
+    fn more_storage(ctx: &mut ProcessCtx, count: u64) -> Result<Addr, Fault> {
+        ctx.call("more_arrays", |ctx| {
+            let new = ctx.malloc(count * 8)?;
+            for i in 0..count + 2 {
+                ctx.write_u64(new.offset(i * 8), 0)?;
+            }
+            Ok(new)
+        })
+    }
+
+    /// BUG 2: the string store null-terminates one element past the end.
+    fn store_string(ctx: &mut ProcessCtx, len: u64) -> Result<(), Fault> {
+        ctx.call("store_string", |ctx| {
+            let s = ctx.malloc(len)?;
+            ctx.fill(s, len, b's')?;
+            ctx.write_bytes(s.offset(len), &[0; 8])?; // off-by-one word
+            ctx.free(s)?;
+            Ok(())
+        })
+    }
+
+    fn eval(ctx: &mut ProcessCtx, n: u64) -> Result<Response, Fault> {
+        ctx.call("execute", |ctx| {
+            let n = n.clamp(1, 64);
+            let stack = ctx.call("init_stack", |ctx| ctx.malloc(n * 16))?;
+            for i in 0..n {
+                ctx.write_u64(stack.offset(i * 16), i * 3)?;
+            }
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(ctx.read_u64(stack.offset(i * 16))?);
+            }
+            ctx.free(stack)?;
+            Ok(Response::bytes(acc % 64 + 8))
+        })
+    }
+
+    fn grow(&mut self, ctx: &mut ProcessCtx) -> Result<Response, Fault> {
+        ctx.call("run_program", |ctx| {
+            // Two distinct call paths into the buggy growth routine, plus
+            // the string-store overflow: three overflowing call-sites.
+            let arrays =
+                ctx.call("lookup_array", |ctx| Bc::more_storage(ctx, 32))?;
+            let vars =
+                ctx.call("lookup_variable", |ctx| Bc::more_storage(ctx, 24))?;
+            Bc::store_string(ctx, 40)?;
+            // Normal bookkeeping continues; the trampled boundary tags are
+            // discovered by the allocator shortly after.
+            let scratch = ctx.malloc(64)?;
+            ctx.fill(scratch, 64, 1)?;
+            ctx.free(scratch)?;
+            if let Some(old) = self.arrays.take() {
+                ctx.free(old)?;
+            }
+            if let Some(old) = self.variables.take() {
+                ctx.free(old)?;
+            }
+            self.arrays = Some(arrays);
+            self.variables = Some(vars);
+            self.count += 1;
+            Ok(Response::bytes(16))
+        })
+    }
+}
+
+impl App for Bc {
+    fn name(&self) -> &'static str {
+        "bc"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        // Bytecode interpretation cost per statement.
+        ctx.clock.advance(20_000);
+        match input.op {
+            ops::GROW => self.grow(ctx),
+            _ => Bc::eval(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the BC workload: expression evaluations with storage growth at
+/// the trigger indices.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                return InputBuilder::op(ops::GROW).gap_us(800).buggy().build();
+            }
+            InputBuilder::op(ops::EVAL)
+                .a(rng.random_range(1u64..64))
+                .gap_us(800)
+                .build()
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: BC 1.06, buffer overflow, 14K LOC, calculator.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "bc",
+        display: "BC",
+        version: "1.06",
+        loc: "14K",
+        description: "calculator",
+        bug_desc: "buffer overflow (x2)",
+        expect_bug: BugType::BufferOverflow,
+        expect_sites: 3,
+        build: || Box::new(Bc::default()),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Bc::default()), ctx).unwrap()
+    }
+
+    #[test]
+    fn expressions_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(150, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+    }
+
+    #[test]
+    fn growth_overflows_crash() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(60, &[30]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(30));
+        assert_eq!(
+            p.failure.as_ref().unwrap().fault.class(),
+            "heap-corruption"
+        );
+    }
+}

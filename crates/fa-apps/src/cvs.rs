@@ -1,0 +1,197 @@
+//! CVS 1.11.4 — the double free in the server's error path.
+//!
+//! The real bug (CVE-2003-0015-adjacent family): an error path in the
+//! server frees a buffer that the normal cleanup path frees again. Here
+//! `serve_request` allocates a request buffer, `buf_free` releases it, and
+//! the malformed-request error path calls the cleanup a second time.
+
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Check out the file named by `a` (mod file count).
+    pub const CHECKOUT: u32 = 0;
+    /// Commit `data` to the file named by `a`.
+    pub const COMMIT: u32 = 1;
+    /// A malformed request — takes the buggy error path.
+    pub const MALFORMED: u32 = 2;
+}
+
+const FILES: u64 = 8;
+
+/// The CVS server miniature.
+#[derive(Clone, Default)]
+pub struct Cvs;
+
+impl Cvs {
+    fn file_name(i: u64) -> String {
+        format!("repo/src/file{}.c", i % FILES)
+    }
+
+    fn checkout(ctx: &mut ProcessCtx, file: u64) -> Result<Response, Fault> {
+        ctx.call("serve_co", |ctx| {
+            let name = Cvs::file_name(file);
+            ctx.files.seek(&name, 0);
+            let data = ctx.files.read(&name, 1 << 16);
+            let buf = ctx.call("buf_alloc", |ctx| ctx.malloc(data.len().max(64) as u64))?;
+            ctx.write_bytes(buf, &data)?;
+            ctx.call("buf_free", |ctx| ctx.free(buf))?;
+            Ok(Response::bytes(data.len() as u64))
+        })
+    }
+
+    fn commit(ctx: &mut ProcessCtx, file: u64, data: &[u8]) -> Result<Response, Fault> {
+        ctx.call("serve_ci", |ctx| {
+            let name = Cvs::file_name(file);
+            let buf = ctx.call("buf_alloc", |ctx| ctx.malloc(data.len().max(64) as u64))?;
+            ctx.write_bytes(buf, data)?;
+            let out = ctx.read_bytes(buf, data.len() as u64)?;
+            ctx.files.seek(&name, usize::MAX); // append
+            let pos = ctx.files.len(&name).unwrap_or(0);
+            ctx.files.seek(&name, pos);
+            ctx.files.write(&name, &out);
+            ctx.call("buf_free", |ctx| ctx.free(buf))?;
+            Ok(Response::bytes(out.len() as u64))
+        })
+    }
+
+    fn malformed(ctx: &mut ProcessCtx) -> Result<Response, Fault> {
+        ctx.call("serve_request", |ctx| {
+            let buf = ctx.call("buf_alloc", |ctx| ctx.malloc(512))?;
+            ctx.fill(buf, 512, 0x3f)?;
+            // Normal cleanup releases the buffer...
+            ctx.call("buf_free", |ctx| ctx.free(buf))?;
+            // ...and the error path (BUG) releases it again.
+            ctx.call("error_exit", |ctx| {
+                ctx.call("buf_free", |ctx| ctx.free(buf))
+            })?;
+            Ok(Response::bytes(0))
+        })
+    }
+}
+
+impl App for Cvs {
+    fn name(&self) -> &'static str {
+        "cvs"
+    }
+
+    fn init(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        for i in 0..FILES {
+            let name = Cvs::file_name(i);
+            ctx.files.open(&name);
+            let body = format!("/* file {i} */\n").repeat(200);
+            ctx.files.write(&name, body.as_bytes());
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        // Request parsing + rcs bookkeeping cost.
+        ctx.clock.advance(90_000);
+        match input.op {
+            ops::COMMIT => Cvs::commit(ctx, input.a, &input.data),
+            ops::MALFORMED => Cvs::malformed(ctx),
+            _ => Cvs::checkout(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the CVS workload: checkouts and commits with occasional
+/// malformed requests at the trigger indices.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                return InputBuilder::op(ops::MALFORMED).gap_us(2_500).buggy().build();
+            }
+            if rng.random_ratio(1, 4) {
+                InputBuilder::op(ops::COMMIT)
+                    .a(rng.random_range(0u64..FILES))
+                    .data(vec![b'x'; rng.random_range(64usize..2048)])
+                    .gap_us(2_500)
+                    .build()
+            } else {
+                InputBuilder::op(ops::CHECKOUT)
+                    .a(rng.random_range(0u64..FILES))
+                    .gap_us(2_500)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: CVS 1.11.4, double free, 114K LOC, version control.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "cvs",
+        display: "CVS",
+        version: "1.11.4",
+        loc: "114K",
+        description: "version control",
+        bug_desc: "double free",
+        expect_bug: BugType::DoubleFree,
+        expect_sites: 1,
+        build: || Box::new(Cvs),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Cvs), ctx).unwrap()
+    }
+
+    #[test]
+    fn checkouts_and_commits_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(150, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+    }
+
+    #[test]
+    fn commit_grows_repository_file() {
+        let mut p = launch();
+        let before = p.ctx.files.len(&Cvs::file_name(1)).unwrap();
+        let input = InputBuilder::op(ops::COMMIT).a(1).data(vec![1; 100]).build();
+        assert!(p.feed(input).is_ok());
+        assert_eq!(p.ctx.files.len(&Cvs::file_name(1)).unwrap(), before + 100);
+    }
+
+    #[test]
+    fn malformed_request_double_frees() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(60, &[30]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(30));
+        let class = p.failure.as_ref().unwrap().fault.class();
+        assert!(
+            class == "invalid-free" || class == "heap-corruption",
+            "got {class}"
+        );
+    }
+}

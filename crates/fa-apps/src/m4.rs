@@ -1,0 +1,244 @@
+//! M4 1.4.4 — dangling pointer reads from undefining macros that are
+//! still being expanded.
+//!
+//! The real bug: `undefine` frees a macro's definition text while the
+//! expansion stack still references it; the expansion later reads the
+//! freed text. Definitions are freed through two different paths (small
+//! definitions inline, large ones via the token-data path), which is why
+//! the paper patches **two** call-sites ("delay free(2)", Table 3).
+
+use fa_mem::Addr;
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Define macro `a` with body length `b`.
+    pub const DEFINE: u32 = 0;
+    /// Expand macro `a`.
+    pub const EXPAND: u32 = 1;
+    /// Undefine-while-expanding — the buggy input. Undefines one small
+    /// and one large macro whose expansions are still pending.
+    pub const SELF_UNDEF: u32 = 2;
+}
+
+/// Definitions at or below this size free through `free_small_def`.
+const SMALL_DEF: u64 = 64;
+/// Sentinel word stamped at the start of every definition.
+const SENTINEL: u64 = 0x6d34_6d34_6d34;
+/// Requests between the undefine and the pending expansions resuming.
+const RESUME_DELAY: u64 = 30;
+
+#[derive(Clone)]
+struct MacroDef {
+    text: Addr,
+    len: u64,
+}
+
+/// The M4 miniature.
+#[derive(Clone, Default)]
+pub struct M4 {
+    macros: Vec<Option<MacroDef>>, // slot per macro id (mod table size)
+    /// Expansions holding (dangling after the bug) definition pointers,
+    /// due to resume at the given request count.
+    pending: Vec<(MacroDef, u64)>,
+    req_counter: u64,
+}
+
+const TABLE: usize = 16;
+
+impl M4 {
+    fn define(&mut self, ctx: &mut ProcessCtx, id: usize, len: u64) -> Result<(), Fault> {
+        let len = len.clamp(16, 4096);
+        if let Some(old) = self.macros[id].take() {
+            Self::free_def(ctx, &old)?;
+        }
+        let text = ctx.call("define_macro", |ctx| {
+            let t = ctx.call("xstrdup", |ctx| ctx.malloc(len))?;
+            ctx.write_u64(t, SENTINEL)?;
+            ctx.fill(t.offset(8), len - 8, b'd')?;
+            Ok(t)
+        })?;
+        self.macros[id] = Some(MacroDef { text, len });
+        Ok(())
+    }
+
+    /// The two deallocation paths of the real implementation.
+    fn free_def(ctx: &mut ProcessCtx, def: &MacroDef) -> Result<(), Fault> {
+        if def.len <= SMALL_DEF {
+            ctx.call("free_small_def", |ctx| ctx.free(def.text))
+        } else {
+            ctx.call("free_token_data", |ctx| ctx.free(def.text))
+        }
+    }
+
+    fn expand(ctx: &mut ProcessCtx, def: &MacroDef) -> Result<u64, Fault> {
+        ctx.call("expand_macro", |ctx| {
+            let s = ctx.read_u64(def.text)?;
+            ctx.check(s == SENTINEL, "macro definition sentinel mismatch")?;
+            let body = ctx.read_bytes(def.text.offset(8), (def.len - 8).min(128))?;
+            Ok(body.len() as u64)
+        })
+    }
+}
+
+impl App for M4 {
+    fn name(&self) -> &'static str {
+        "m4"
+    }
+
+    fn init(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        self.macros = vec![None; TABLE];
+        // Slot 0: a small macro; slot 1: a large one.
+        self.define(ctx, 0, 48)?;
+        self.define(ctx, 1, 512)?;
+        Ok(())
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        // Tokenizing/rescanning cost per input line.
+        ctx.clock.advance(30_000);
+        self.req_counter += 1;
+        // Pending (dangling) expansions resume first.
+        let due: Vec<MacroDef> = {
+            let now = self.req_counter;
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.pending).into_iter().partition(|(_, t)| now >= *t);
+            self.pending = rest;
+            ready.into_iter().map(|(d, _)| d).collect()
+        };
+        for def in due {
+            M4::expand(ctx, &def)?;
+        }
+        match input.op {
+            ops::DEFINE => {
+                let id = (input.a as usize) % TABLE;
+                self.define(ctx, id, input.b)?;
+                Ok(Response::bytes(8))
+            }
+            ops::SELF_UNDEF => ctx.call("macro_undefine", |ctx| {
+                // BUG: the expansion stack still references both
+                // definitions when they are freed.
+                for id in [0usize, 1] {
+                    if let Some(def) = self.macros[id].take() {
+                        M4::free_def(ctx, &def)?;
+                        self.pending
+                            .push((def, self.req_counter + RESUME_DELAY * (id as u64 + 1)));
+                    }
+                }
+                Ok(Response::bytes(4))
+            }),
+            _ => {
+                let id = (input.a as usize) % TABLE;
+                match self.macros[id].clone() {
+                    Some(def) => {
+                        let n = M4::expand(ctx, &def)?;
+                        Ok(Response::bytes(n))
+                    }
+                    None => Ok(Response::bytes(0)),
+                }
+            }
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the M4 workload: defines and expansions; triggers undefine the
+/// two init macros while their expansions are pending.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                return InputBuilder::op(ops::SELF_UNDEF).gap_us(1_000).buggy().build();
+            }
+            if rng.random_ratio(1, 4) {
+                // Defines use slots 2.. so the init macros survive.
+                InputBuilder::op(ops::DEFINE)
+                    .a(rng.random_range(2u64..TABLE as u64))
+                    .b(rng.random_range(16u64..1024))
+                    .gap_us(1_000)
+                    .build()
+            } else {
+                InputBuilder::op(ops::EXPAND)
+                    .a(rng.random_range(2u64..TABLE as u64))
+                    .gap_us(1_000)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: M4 1.4.4, dangling pointer read, 17K LOC, macro
+/// processor.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "m4",
+        display: "M4",
+        version: "1.4.4",
+        loc: "17K",
+        description: "macro processor",
+        bug_desc: "dangling pointer read",
+        expect_bug: BugType::DanglingRead,
+        expect_sites: 2,
+        build: || Box::new(M4::default()),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(M4::default()), ctx).unwrap()
+    }
+
+    #[test]
+    fn define_expand_cycles_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(200, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+    }
+
+    #[test]
+    fn undefine_while_expanding_fails_later() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(200, &[50]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("dangling read must fail");
+        assert!(
+            failed_at >= 50 + RESUME_DELAY as usize - 1,
+            "failure is delayed past the trigger, got {failed_at}"
+        );
+    }
+
+    #[test]
+    fn both_free_paths_are_exercised() {
+        // Small and large macros free through different wrappers.
+        let mut p = launch();
+        let input = InputBuilder::op(ops::DEFINE).a(0).b(32).build();
+        assert!(p.feed(input).is_ok()); // redefine frees the small path
+        let input = InputBuilder::op(ops::DEFINE).a(1).b(512).build();
+        assert!(p.feed(input).is_ok()); // redefine frees the large path
+    }
+}

@@ -1,0 +1,167 @@
+//! Mutt 1.3.99i — the `utf8_to_utf7` buffer overflow.
+//!
+//! The real bug: Mutt's IMAP code converts mailbox names from UTF-8 to
+//! modified UTF-7 with a destination buffer sized `len * 2 + 1`, but the
+//! worst-case expansion is larger; names dominated by non-ASCII characters
+//! overflow the buffer.
+
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Fetch message `a` from the current mailbox.
+    pub const FETCH: u32 = 0;
+    /// Select the IMAP mailbox named in `data` (raw UTF-8 bytes) — the
+    /// buggy conversion path.
+    pub const SELECT: u32 = 1;
+}
+
+/// The Mutt miniature.
+#[derive(Clone, Default)]
+pub struct Mutt;
+
+impl Mutt {
+    /// Modified-UTF-7 worst case: each non-ASCII byte expands to ~4 output
+    /// bytes (base64 of UTF-16 plus shifts).
+    fn utf7_len(name: &[u8]) -> u64 {
+        name.iter()
+            .map(|&b| if b >= 0x80 { 4u64 } else { 1 })
+            .sum()
+    }
+
+    fn fetch(ctx: &mut ProcessCtx, size: u64) -> Result<Response, Fault> {
+        ctx.call("imap_fetch_message", |ctx| {
+            let size = size.clamp(512, 32_768);
+            let buf = ctx.call("safe_malloc", |ctx| ctx.malloc(size))?;
+            ctx.fill(buf, size, b'm')?;
+            ctx.free(buf)?;
+            Ok(Response::bytes(size))
+        })
+    }
+
+    fn select(ctx: &mut ProcessCtx, name: &[u8]) -> Result<Response, Fault> {
+        ctx.call("imap_select_mailbox", |ctx| {
+            // BUG: `len * 2 + 1` undercounts the UTF-7 expansion.
+            let estimate = name.len() as u64 * 2 + 1;
+            let out = ctx.call("utf8_to_utf7", |ctx| ctx.malloc(estimate))?;
+            let state = ctx.call("imap_state_alloc", |ctx| ctx.malloc(160))?;
+            let actual = Mutt::utf7_len(name);
+            ctx.fill(out, actual, b'&')?;
+            ctx.fill(state, 160, 0x07)?;
+            ctx.free(state)?;
+            ctx.free(out)?;
+            Ok(Response::bytes(256))
+        })
+    }
+}
+
+impl App for Mutt {
+    fn name(&self) -> &'static str {
+        "mutt"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        // Screen rendering + IMAP protocol cost.
+        ctx.clock.advance(60_000);
+        match input.op {
+            ops::SELECT => Mutt::select(ctx, &input.data),
+            _ => Mutt::fetch(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the Mutt workload: fetches plus mailbox selects; triggers carry
+/// a mostly-non-ASCII mailbox name.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                return InputBuilder::op(ops::SELECT)
+                    .data(vec![0xc3; 24]) // 24 non-ASCII bytes: 96 > 49
+                    .gap_us(3_000)
+                    .buggy()
+                    .build();
+            }
+            if rng.random_ratio(1, 8) {
+                InputBuilder::op(ops::SELECT)
+                    .data(b"INBOX/lists".to_vec())
+                    .gap_us(3_000)
+                    .build()
+            } else {
+                InputBuilder::op(ops::FETCH)
+                    .a(rng.random_range(512u64..16_384))
+                    .gap_us(3_000)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: Mutt 1.3.99i, buffer overflow, 86K LOC, email
+/// client.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "mutt",
+        display: "Mutt",
+        version: "1.3.99i",
+        loc: "86K",
+        description: "email client",
+        bug_desc: "buffer overflow",
+        expect_bug: BugType::BufferOverflow,
+        expect_sites: 1,
+        build: || Box::new(Mutt),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Mutt), ctx).unwrap()
+    }
+
+    #[test]
+    fn ascii_mailboxes_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(150, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+    }
+
+    #[test]
+    fn non_ascii_mailbox_overflows() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(60, &[20]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(20));
+    }
+
+    #[test]
+    fn utf7_expansion_math() {
+        assert_eq!(Mutt::utf7_len(b"inbox"), 5);
+        assert_eq!(Mutt::utf7_len(&[0xc3, 0xa9]), 8);
+    }
+}

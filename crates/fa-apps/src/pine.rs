@@ -1,0 +1,177 @@
+//! Pine 4.44 — the rfc822 address-quoting buffer overflow.
+//!
+//! The real bug (the `rfc822_cat` family): when building a quoted display
+//! name for an address containing special characters, Pine's length
+//! estimate misses the escaping expansion, overflowing the destination
+//! buffer. The overflow corrupts the adjacent envelope structure's
+//! boundary tag; the allocator aborts when the envelope is freed while the
+//! message summary is being rendered.
+
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Open and render message `a` of the mailbox.
+    pub const READ: u32 = 0;
+    /// Render the folder index (cheap).
+    pub const INDEX: u32 = 1;
+    /// Read a message whose From header is in `text` — the buggy path
+    /// when the address needs quoting.
+    pub const READ_FROM: u32 = 2;
+}
+
+/// The Pine miniature.
+#[derive(Clone, Default)]
+pub struct Pine;
+
+impl Pine {
+    /// Quoting doubles backslashes and quotes.
+    fn quoted_len(addr: &str) -> u64 {
+        addr.bytes()
+            .map(|b| if b == b'"' || b == b'\\' { 2 } else { 1 })
+            .sum()
+    }
+
+    fn render_message(ctx: &mut ProcessCtx, size: u64) -> Result<Response, Fault> {
+        ctx.call("mm_fetchtext", |ctx| {
+            let size = size.clamp(512, 32_768);
+            let body = ctx.call("fs_get_body", |ctx| ctx.malloc(size))?;
+            ctx.fill(body, size, b'.')?;
+            let _ = ctx.read_bytes(body, 128.min(size))?;
+            ctx.free(body)?;
+            Ok(Response::bytes(size))
+        })
+    }
+
+    fn render_from(ctx: &mut ProcessCtx, from: &str) -> Result<Response, Fault> {
+        ctx.call("mm_format_from", |ctx| {
+            // BUG: the estimate forgets that quoting expands characters.
+            let estimate = from.len() as u64 + 4;
+            let namebuf = ctx.call("rfc822_cat_alloc", |ctx| ctx.malloc(estimate))?;
+            let envelope = ctx.call("mail_newenvelope", |ctx| ctx.malloc(192))?;
+            let actual = Pine::quoted_len(from) + 2; // surrounding quotes
+            ctx.fill(namebuf, actual, b'q')?;
+            ctx.fill(envelope, 192, 0x15)?;
+            ctx.free(envelope)?;
+            ctx.free(namebuf)?;
+            Ok(Response::bytes(1024))
+        })
+    }
+}
+
+impl App for Pine {
+    fn name(&self) -> &'static str {
+        "pine"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        // Screen rendering + IMAP protocol cost.
+        ctx.clock.advance(60_000);
+        match input.op {
+            ops::INDEX => ctx.call("mm_index", |ctx| {
+                let line = ctx.malloc(256)?;
+                ctx.fill(line, 256, b'-')?;
+                ctx.free(line)?;
+                Ok(Response::bytes(256))
+            }),
+            ops::READ_FROM => Pine::render_from(ctx, &input.text),
+            _ => Pine::render_message(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the Pine workload: message reads and index renders, with quoted
+/// addresses at the trigger indices.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                let from = format!("\"{}\" <evil@x.org>", "\\\"".repeat(16));
+                return InputBuilder::op(ops::READ_FROM)
+                    .text(from)
+                    .gap_us(3_000)
+                    .buggy()
+                    .build();
+            }
+            if rng.random_ratio(1, 3) {
+                InputBuilder::op(ops::INDEX).gap_us(3_000).build()
+            } else {
+                InputBuilder::op(ops::READ)
+                    .a(rng.random_range(512u64..16_384))
+                    .gap_us(3_000)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: Pine 4.44, buffer overflow, 330K LOC, email client.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "pine",
+        display: "Pine",
+        version: "4.44",
+        loc: "330K",
+        description: "email client",
+        bug_desc: "buffer overflow",
+        expect_bug: BugType::BufferOverflow,
+        expect_sites: 1,
+        build: || Box::new(Pine),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Pine), ctx).unwrap()
+    }
+
+    #[test]
+    fn plain_addresses_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(150, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+        // A benign quoted-from render fits the estimate.
+        let r = p.feed(InputBuilder::op(ops::READ_FROM).text("a@b.c").build());
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn quoted_address_overflows() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(80, &[40]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(40));
+    }
+
+    #[test]
+    fn quoting_math() {
+        assert_eq!(Pine::quoted_len("plain"), 5);
+        assert_eq!(Pine::quoted_len("\"\\"), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! The application registry (paper Table 2).
+
+use fa_allocext::BugType;
+use fa_proc::{BoxedApp, Input};
+
+/// Parameters for generating a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Total number of inputs.
+    pub n: usize,
+    /// Indices of bug-triggering inputs.
+    pub triggers: Vec<usize>,
+    /// RNG seed for request mix/sizes.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A workload of `n` inputs with triggers at the given indices.
+    pub fn new(n: usize, triggers: &[usize]) -> WorkloadSpec {
+        WorkloadSpec {
+            n,
+            triggers: triggers.to_vec(),
+            seed: 42,
+        }
+    }
+}
+
+/// Registry entry for one evaluated application.
+pub struct AppSpec {
+    /// Short key ("apache", "squid", ...).
+    pub key: &'static str,
+    /// Display name as in paper Table 2.
+    pub display: &'static str,
+    /// Version evaluated in the paper.
+    pub version: &'static str,
+    /// Lines of code of the real application (paper Table 2).
+    pub loc: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Bug description as in paper Table 2.
+    pub bug_desc: &'static str,
+    /// The bug type First-Aid is expected to diagnose.
+    pub expect_bug: BugType,
+    /// Expected number of patched call-sites (paper Table 3).
+    pub expect_sites: usize,
+    /// Builds a fresh application instance.
+    pub build: fn() -> BoxedApp,
+    /// Builds a workload.
+    pub workload: fn(&WorkloadSpec) -> Vec<Input>,
+}
+
+/// Returns the specs of all nine evaluated cases (7 real bugs + 2
+/// injected), in paper Table 3 order.
+pub fn all_specs() -> Vec<AppSpec> {
+    vec![
+        crate::apache::spec(),
+        crate::squid::spec(),
+        crate::cvs::spec(),
+        crate::pine::spec(),
+        crate::mutt::spec(),
+        crate::m4::spec(),
+        crate::bc::spec(),
+        crate::apache::spec_uir(),
+        crate::apache::spec_dpw(),
+    ]
+}
+
+/// Looks up a spec by key.
+pub fn spec_by_key(key: &str) -> Option<AppSpec> {
+    all_specs().into_iter().find(|s| s.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table2() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 9);
+        let keys: Vec<&str> = specs.iter().map(|s| s.key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "apache",
+                "squid",
+                "cvs",
+                "pine",
+                "mutt",
+                "m4",
+                "bc",
+                "apache-uir",
+                "apache-dpw"
+            ]
+        );
+        assert_eq!(spec_by_key("squid").unwrap().expect_bug, BugType::BufferOverflow);
+        assert_eq!(spec_by_key("cvs").unwrap().expect_bug, BugType::DoubleFree);
+        assert!(spec_by_key("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_app_builds_and_generates_workloads() {
+        for spec in all_specs() {
+            let app = (spec.build)();
+            assert!(!app.name().is_empty());
+            let w = (spec.workload)(&WorkloadSpec::new(50, &[25]));
+            assert_eq!(w.len(), 50);
+            assert!(w[25].buggy, "{}: trigger input must be marked", spec.key);
+            assert!(
+                w.iter().filter(|i| i.buggy).count() == 1,
+                "{}: exactly one trigger",
+                spec.key
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Squid 2.3 — the `ftpBuildTitleUrl` buffer overflow.
+//!
+//! The real bug: when building the title URL for an FTP listing, Squid
+//! under-counts the escaped length of the host/path, so the `sprintf`
+//! into the allocated buffer overflows. Here the escaping doubles `~`
+//! characters while the length estimate counts them once; the overflow
+//! tramples the boundary tag of the adjacent connection buffer and the
+//! allocator aborts when that buffer is freed — the same request, which is
+//! why Squid's error-propagation distance (and recovery time) is short
+//! (paper §7.3).
+
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use fa_allocext::BugType;
+
+use crate::registry::{AppSpec, WorkloadSpec};
+
+/// Request ops.
+pub mod ops {
+    /// Plain HTTP fetch of `a` bytes.
+    pub const HTTP: u32 = 0;
+    /// FTP listing for the host in `text` — the buggy path.
+    pub const FTP: u32 = 1;
+}
+
+/// The Squid miniature.
+#[derive(Clone, Default)]
+pub struct Squid;
+
+impl Squid {
+    fn http_fetch(ctx: &mut ProcessCtx, size: u64) -> Result<Response, Fault> {
+        ctx.call("clientProcessRequest", |ctx| {
+            let size = size.clamp(1024, 65_536);
+            let buf = ctx.call("memAllocate", |ctx| ctx.malloc(size))?;
+            ctx.fill(buf, size, 0x20)?;
+            ctx.free(buf)?;
+            Ok(Response::bytes(size))
+        })
+    }
+
+    /// Escapes `~` as `%7E`-style doubling (modeled as two bytes).
+    fn escaped_len(host: &str) -> u64 {
+        host.bytes().map(|b| if b == b'~' { 2 } else { 1 }).sum()
+    }
+
+    fn ftp_listing(ctx: &mut ProcessCtx, host: &str) -> Result<Response, Fault> {
+        ctx.call("ftpProcessRequest", |ctx| {
+            // BUG (length underestimation): the estimate counts each
+            // character once, but escaping expands `~`.
+            let estimate = 8 + host.len() as u64;
+            let title = ctx.call("ftpBuildTitleUrl", |ctx| ctx.malloc(estimate))?;
+            let conn = ctx.call("ftpConnAlloc", |ctx| ctx.malloc(256))?;
+            // Write "ftp://" + escaped(host) + "/" — may exceed `estimate`.
+            let actual = 7 + Squid::escaped_len(host);
+            ctx.fill(title, actual, b'u')?;
+            // Use the connection buffer, then release it: freeing it
+            // validates the boundary tag the overflow may have trampled.
+            ctx.fill(conn, 256, 0x31)?;
+            ctx.free(conn)?;
+            ctx.free(title)?;
+            Ok(Response::bytes(4096))
+        })
+    }
+}
+
+/// Virtual request-processing cost per request, ns.
+const REQ_COST_NS: u64 = 70_000;
+
+impl App for Squid {
+    fn name(&self) -> &'static str {
+        "squid"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        ctx.clock.advance(REQ_COST_NS);
+        match input.op {
+            ops::FTP => Squid::ftp_listing(ctx, &input.text),
+            _ => Squid::http_fetch(ctx, input.a),
+        }
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds the Squid workload: mostly HTTP fetches, occasional benign FTP
+/// listings, and trigger inputs with a `~`-laden host.
+pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|i| {
+            if spec.triggers.contains(&i) {
+                // 24 tildes: 24 bytes of overflow past the estimate.
+                let host = format!("{}.example.org", "~".repeat(24));
+                return InputBuilder::op(ops::FTP).text(host).gap_us(1_500).buggy().build();
+            }
+            if rng.random_ratio(1, 10) {
+                InputBuilder::op(ops::FTP)
+                    .text("ftp.mirror.net")
+                    .gap_us(1_500)
+                    .build()
+            } else {
+                InputBuilder::op(ops::HTTP)
+                    .a(rng.random_range(4_096u64..32_768))
+                    .gap_us(1_500)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// Paper Table 2 row: Squid 2.3, buffer overflow, 93K LOC, proxy cache.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        key: "squid",
+        display: "Squid",
+        version: "2.3",
+        loc: "93K",
+        description: "proxy cache",
+        bug_desc: "buffer overflow",
+        expect_bug: BugType::BufferOverflow,
+        expect_sites: 1,
+        build: || Box::new(Squid),
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::ExtAllocator;
+    use fa_proc::Process;
+
+    fn launch() -> Process {
+        let mut ctx = ProcessCtx::new(1 << 28);
+        ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+        Process::launch(Box::new(Squid), ctx).unwrap()
+    }
+
+    #[test]
+    fn normal_and_benign_ftp_are_clean() {
+        let mut p = launch();
+        for input in workload(&WorkloadSpec::new(200, &[])) {
+            assert!(p.feed(input).is_ok());
+        }
+    }
+
+    #[test]
+    fn tilde_host_overflow_crashes_same_request() {
+        let mut p = launch();
+        let w = workload(&WorkloadSpec::new(100, &[50]));
+        let mut failed_at = None;
+        for (i, input) in w.into_iter().enumerate() {
+            if !p.feed(input).is_ok() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(50), "short error propagation distance");
+        assert_eq!(
+            p.failure.as_ref().unwrap().fault.class(),
+            "heap-corruption"
+        );
+    }
+
+    #[test]
+    fn escape_math() {
+        assert_eq!(Squid::escaped_len("abc"), 3);
+        assert_eq!(Squid::escaped_len("~~"), 4);
+    }
+}

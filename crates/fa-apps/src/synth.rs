@@ -1,0 +1,303 @@
+//! Synthetic benchmark profiles: SPEC INT2000 and the four
+//! allocation-intensive programs (paper §7.5–7.6).
+//!
+//! The paper's overhead experiments depend only on aggregate memory
+//! behaviour: heap size, live object count and size distribution,
+//! allocation churn, and the dirty working set per unit time (which drives
+//! COW checkpoint cost). Each [`SynthProfile`] encodes those parameters
+//! for one benchmark, tuned so the reproduced Tables 6–7 and Fig. 6 land
+//! in the paper's ranges:
+//!
+//! * big-heap, low-churn programs (gzip, bzip2, mcf) → checkpointing
+//!   dominates overhead; tiny allocator-extension cost;
+//! * many-small-object programs (cfrac, p2c, twolf) → the 16-byte/object
+//!   extension metadata is a large *fraction* of a small heap;
+//! * high-churn programs (cfrac, BC) → allocator-extension time overhead.
+
+use fa_mem::Addr;
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which suite a profile belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// SPEC INT2000.
+    Spec,
+    /// The allocation-intensive set of Berger et al. (Hoard).
+    AllocIntensive,
+}
+
+/// Aggregate memory-behaviour parameters of one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// Megabytes of large base blocks allocated at startup (the bulk of
+    /// the heap for the big SPEC programs).
+    pub base_mb: u64,
+    /// Steady-state live small-object count.
+    pub live_objects: usize,
+    /// Small-object size range (bytes).
+    pub obj_size: (u64, u64),
+    /// Frees+allocs per input (allocation churn).
+    pub churn: usize,
+    /// Bytes of fresh working set dirtied per input: the touch cursor
+    /// advances by exactly this much, so the COW dirty-page rate is
+    /// `advance_bytes / 4096` pages per input (the Table 7 driver).
+    pub advance_bytes: u64,
+    /// Extra virtual compute per input, ns.
+    pub compute_ns: u64,
+    /// Arrival gap per input, µs (0 for batch/desktop programs, which
+    /// run flat out).
+    pub gap_us: u64,
+    /// Size of the program's write working set in MB: the touch cursor
+    /// wraps within this window, bounding the pages dirtied per
+    /// checkpoint interval (what lets the adaptive controller amortize
+    /// COW cost by stretching intervals, as in the paper's Table 7).
+    pub window_mb: u64,
+}
+
+/// Bytes per large base block.
+const BASE_BLOCK: u64 = 1 << 20;
+
+/// Returns the SPEC INT2000 profiles (paper Fig. 6, Tables 6–7 rows).
+///
+/// `advance_bytes` values are derived from the paper's Table 7
+/// MB/checkpoint figures at ~55 µs of busy work per input and 200 ms
+/// checkpoint intervals.
+pub fn spec_profiles() -> Vec<SynthProfile> {
+    use Suite::Spec;
+    vec![
+        SynthProfile { name: "164.gzip", suite: Spec, base_mb: 178, live_objects: 800, obj_size: (256, 4096), churn: 2, advance_bytes: 1_324, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
+        SynthProfile { name: "175.vpr", suite: Spec, base_mb: 19, live_objects: 15_000, obj_size: (32, 128), churn: 4, advance_bytes: 394, compute_ns: 50_000, gap_us: 0, window_mb: 2 },
+        SynthProfile { name: "176.gcc", suite: Spec, base_mb: 80, live_objects: 30_000, obj_size: (64, 512), churn: 5, advance_bytes: 1_400, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
+        SynthProfile { name: "181.mcf", suite: Spec, base_mb: 94, live_objects: 500, obj_size: (1024, 8192), churn: 1, advance_bytes: 2_724, compute_ns: 50_000, gap_us: 0, window_mb: 10 },
+        SynthProfile { name: "186.crafty", suite: Spec, base_mb: 1, live_objects: 1_200, obj_size: (64, 256), churn: 1, advance_bytes: 264, compute_ns: 50_000, gap_us: 0, window_mb: 1 },
+        SynthProfile { name: "197.parser", suite: Spec, base_mb: 29, live_objects: 25_000, obj_size: (32, 256), churn: 10, advance_bytes: 3_363, compute_ns: 50_000, gap_us: 0, window_mb: 11 },
+        SynthProfile { name: "252.eon", suite: Spec, base_mb: 1, live_objects: 2_000, obj_size: (32, 128), churn: 3, advance_bytes: 16, compute_ns: 50_000, gap_us: 0, window_mb: 1 },
+        SynthProfile { name: "253.perlbmk", suite: Spec, base_mb: 52, live_objects: 60_000, obj_size: (64, 512), churn: 4, advance_bytes: 1_441, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
+        SynthProfile { name: "255.vortex", suite: Spec, base_mb: 100, live_objects: 25_000, obj_size: (128, 1024), churn: 6, advance_bytes: 10_300, compute_ns: 50_000, gap_us: 0, window_mb: 33 },
+        SynthProfile { name: "256.bzip2", suite: Spec, base_mb: 183, live_objects: 150, obj_size: (8192, 65_536), churn: 1, advance_bytes: 4_520, compute_ns: 50_000, gap_us: 0, window_mb: 16 },
+        SynthProfile { name: "300.twolf", suite: Spec, base_mb: 1, live_objects: 60_000, obj_size: (16, 48), churn: 10, advance_bytes: 490, compute_ns: 50_000, gap_us: 0, window_mb: 2 },
+    ]
+}
+
+/// Returns the four allocation-intensive profiles.
+///
+/// Their heaps are small and churned constantly, so the pool itself is
+/// the working set; no separate cursor advance is needed.
+pub fn alloc_intensive_profiles() -> Vec<SynthProfile> {
+    use Suite::AllocIntensive;
+    vec![
+        SynthProfile { name: "cfrac", suite: AllocIntensive, base_mb: 0, live_objects: 9_000, obj_size: (8, 40), churn: 40, advance_bytes: 0, compute_ns: 12_000, gap_us: 0, window_mb: 1 },
+        SynthProfile { name: "espresso", suite: AllocIntensive, base_mb: 0, live_objects: 4_500, obj_size: (16, 128), churn: 30, advance_bytes: 0, compute_ns: 15_000, gap_us: 0, window_mb: 1 },
+        SynthProfile { name: "lindsay", suite: AllocIntensive, base_mb: 1, live_objects: 250, obj_size: (64, 512), churn: 6, advance_bytes: 64, compute_ns: 20_000, gap_us: 0, window_mb: 1 },
+        SynthProfile { name: "p2c", suite: AllocIntensive, base_mb: 0, live_objects: 12_000, obj_size: (8, 48), churn: 20, advance_bytes: 0, compute_ns: 10_000, gap_us: 0, window_mb: 1 },
+    ]
+}
+
+/// A deterministic synthetic application following a [`SynthProfile`].
+#[derive(Clone)]
+pub struct SynthApp {
+    profile: SynthProfile,
+    rng: SmallRng,
+    base: Vec<Addr>,
+    pool: Vec<Addr>,
+    touch_cursor: u64,
+}
+
+impl SynthApp {
+    /// Creates an app for the profile.
+    pub fn new(profile: SynthProfile) -> SynthApp {
+        SynthApp {
+            profile,
+            rng: SmallRng::seed_from_u64(0x5e1f),
+            base: Vec::new(),
+            pool: Vec::new(),
+            touch_cursor: 0,
+        }
+    }
+
+    /// Returns the profile.
+    pub fn profile(&self) -> &SynthProfile {
+        &self.profile
+    }
+
+    fn alloc_small(&mut self, ctx: &mut ProcessCtx) -> Result<Addr, Fault> {
+        let (lo, hi) = self.profile.obj_size;
+        let size = self.rng.random_range(lo..=hi);
+        let p = ctx.call("obj_alloc", |ctx| ctx.malloc(size))?;
+        ctx.write_u64(p, size)?;
+        Ok(p)
+    }
+}
+
+impl App for SynthApp {
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    fn init(&mut self, ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        ctx.call("startup", |ctx| {
+            for _ in 0..self.profile.base_mb {
+                // Large blocks map heap space without touching every page,
+                // like the big SPEC data arrays before first use.
+                let b = ctx.call("base_alloc", |ctx| ctx.malloc(BASE_BLOCK - 64))?;
+                ctx.write_u64(b, 0)?;
+                self.base.push(b);
+            }
+            for _ in 0..self.profile.live_objects {
+                let p = self.alloc_small(ctx)?;
+                self.pool.push(p);
+            }
+            Ok(())
+        })
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, _input: &Input) -> Result<Response, Fault> {
+        ctx.call("work", |ctx| {
+            // Allocation churn: replace random pool members.
+            for _ in 0..self.profile.churn {
+                if !self.pool.is_empty() {
+                    let idx = self.rng.random_range(0..self.pool.len());
+                    let victim = self.pool.swap_remove(idx);
+                    ctx.call("obj_free", |ctx| ctx.free(victim))?;
+                }
+                let p = self.alloc_small(ctx)?;
+                self.pool.push(p);
+            }
+            // Dirty the working set (drives COW checkpoint cost): the
+            // cursor advances by exactly `advance_bytes`, cycling within
+            // a bounded window.
+            let mut remaining = self.profile.advance_bytes;
+            let window = (self.base.len() as u64 * BASE_BLOCK)
+                .min(self.profile.window_mb << 20)
+                .max((self.base.len().min(1) as u64) * BASE_BLOCK);
+            while remaining > 0 && !self.base.is_empty() {
+                let off = self.touch_cursor % window;
+                let block = self.base[(off / BASE_BLOCK) as usize];
+                let inner = off % BASE_BLOCK;
+                // Keep clear of the next chunk's metadata at the block end.
+                let usable = BASE_BLOCK - 4096;
+                if inner >= usable {
+                    self.touch_cursor = self.touch_cursor.wrapping_add(BASE_BLOCK - inner);
+                    continue;
+                }
+                let chunk = remaining.min(usable - inner);
+                ctx.fill(block.offset(inner), chunk, 0x77)?;
+                self.touch_cursor = self.touch_cursor.wrapping_add(chunk);
+                remaining -= chunk;
+            }
+            if self.base.is_empty() && self.profile.advance_bytes > 0 {
+                // Small-heap programs touch their pool instead.
+                for _ in 0..(self.profile.advance_bytes / 64).max(1) {
+                    let idx = self.rng.random_range(0..self.pool.len());
+                    let p = self.pool[idx];
+                    ctx.write_u64(p.offset(8), self.touch_cursor)?;
+                    self.touch_cursor += 1;
+                }
+            }
+            ctx.clock.advance(self.profile.compute_ns);
+            Ok(Response::bytes(64))
+        })
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds a plain workload of `n` inputs for a profile.
+pub fn workload(profile: &SynthProfile, n: usize) -> Vec<Input> {
+    (0..n)
+        .map(|_| InputBuilder::op(0).gap_us(profile.gap_us).build())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_proc::Process;
+
+    fn small(name: &'static str) -> SynthProfile {
+        SynthProfile {
+            name,
+            suite: Suite::AllocIntensive,
+            base_mb: 2,
+            live_objects: 500,
+            obj_size: (16, 64),
+            churn: 5,
+            advance_bytes: 4_096,
+            compute_ns: 1_000,
+            gap_us: 100,
+            window_mb: 2,
+        }
+    }
+
+    #[test]
+    fn profiles_cover_paper_tables() {
+        assert_eq!(spec_profiles().len(), 11);
+        assert_eq!(alloc_intensive_profiles().len(), 4);
+        let names: Vec<_> = spec_profiles().iter().map(|p| p.name).collect();
+        assert!(names.contains(&"164.gzip") && names.contains(&"300.twolf"));
+    }
+
+    #[test]
+    fn synth_app_runs_deterministically() {
+        let run = |seed_inputs: usize| {
+            let ctx = ProcessCtx::new(1 << 30);
+            let mut p = Process::launch(Box::new(SynthApp::new(small("t"))), ctx).unwrap();
+            for input in workload(&small("t"), seed_inputs) {
+                assert!(p.feed(input).is_ok());
+            }
+            (
+                p.ctx.clock.now(),
+                p.ctx.alloc().heap().stats().allocs,
+                p.ctx.alloc().heap().stats().heap_bytes,
+            )
+        };
+        assert_eq!(run(50), run(50), "two runs must be byte-identical");
+    }
+
+    #[test]
+    fn heap_reaches_base_size() {
+        let ctx = ProcessCtx::new(1 << 30);
+        let mut p = Process::launch(Box::new(SynthApp::new(small("t"))), ctx).unwrap();
+        for input in workload(&small("t"), 10) {
+            assert!(p.feed(input).is_ok());
+        }
+        let heap_mb = p.ctx.alloc().heap().stats().heap_bytes as f64 / 1048576.0;
+        assert!(heap_mb >= 2.0, "heap {heap_mb} MB");
+    }
+
+    #[test]
+    fn touching_dirties_pages() {
+        let ctx = ProcessCtx::new(1 << 30);
+        let mut p = Process::launch(Box::new(SynthApp::new(small("t"))), ctx).unwrap();
+        p.ctx.mem.take_dirty_pages();
+        for input in workload(&small("t"), 20) {
+            assert!(p.feed(input).is_ok());
+        }
+        assert!(p.ctx.mem.dirty_page_count() > 10);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let ctx = ProcessCtx::new(1 << 30);
+        let mut p = Process::launch(Box::new(SynthApp::new(small("t"))), ctx).unwrap();
+        for input in workload(&small("t"), 10) {
+            p.feed(input);
+        }
+        let snap = p.snapshot();
+        for input in workload(&small("t"), 10) {
+            p.feed(input);
+        }
+        let allocs_first = p.ctx.alloc().heap().stats().allocs;
+        p.restore(&snap);
+        while p.step().is_some() {}
+        assert_eq!(p.ctx.alloc().heap().stats().allocs, allocs_first);
+    }
+}

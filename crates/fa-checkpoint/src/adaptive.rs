@@ -1,0 +1,145 @@
+//! The adaptive checkpoint-interval controller.
+//!
+//! "Instead of using fixed checkpointing intervals as in Rx, First-Aid
+//! dynamically adjusts the checkpointing intervals ... by monitoring the
+//! copy-on-write (COW) page rate ... If the runtime overhead is higher
+//! than the threshold T_overhead specified by the user, First-Aid
+//! gradually increases the checkpointing interval ... once the checkpoint
+//! interval reaches the user-specified maximal interval T_checkpoint,
+//! First-Aid stops increasing it" (paper §3).
+
+/// Configuration of the adaptive controller.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Initial (and minimum) checkpoint interval in virtual ns. The
+    /// paper's experiments use 200 ms.
+    pub base_interval_ns: u64,
+    /// `T_checkpoint`: the maximum interval the controller may reach.
+    pub max_interval_ns: u64,
+    /// `T_overhead`: the checkpointing overhead fraction the user is
+    /// willing to pay (copy cost / interval).
+    pub overhead_target: f64,
+    /// Virtual cost of replicating one COW page, in ns.
+    pub page_copy_ns: u64,
+    /// Fixed virtual cost of taking one checkpoint, in ns.
+    pub checkpoint_base_ns: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            base_interval_ns: 200_000_000,       // 200 ms
+            max_interval_ns: 3_200_000_000,      // 3.2 s
+            overhead_target: 0.05,               // 5 %
+            page_copy_ns: 10_000,
+            checkpoint_base_ns: 60_000,          // fork-like operation
+        }
+    }
+}
+
+/// The controller state: the current interval, adjusted per checkpoint.
+#[derive(Clone, Debug)]
+pub struct AdaptiveInterval {
+    config: AdaptiveConfig,
+    interval_ns: u64,
+}
+
+impl AdaptiveInterval {
+    /// Creates a controller at the base interval.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        AdaptiveInterval {
+            interval_ns: config.base_interval_ns,
+            config,
+        }
+    }
+
+    /// Returns the current checkpoint interval in virtual ns.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Returns the virtual cost of a checkpoint that found `dirty_pages`
+    /// COW-replicated pages.
+    pub fn checkpoint_cost_ns(&self, dirty_pages: usize) -> u64 {
+        self.config.checkpoint_base_ns + dirty_pages as u64 * self.config.page_copy_ns
+    }
+
+    /// Feeds the controller one completed interval; adjusts the interval
+    /// for the next one.
+    ///
+    /// Doubling on overshoot / halving on deep undershoot gives the
+    /// "gradual" adjustment of the paper without oscillating.
+    pub fn observe(&mut self, dirty_pages: usize) {
+        let cost = self.checkpoint_cost_ns(dirty_pages) as f64;
+        let overhead = cost / self.interval_ns as f64;
+        if overhead > self.config.overhead_target {
+            self.interval_ns = (self.interval_ns * 2).min(self.config.max_interval_ns);
+        } else if overhead < self.config.overhead_target / 4.0
+            && self.interval_ns > self.config.base_interval_ns
+        {
+            self.interval_ns = (self.interval_ns / 2).max(self.config.base_interval_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(target: f64) -> AdaptiveInterval {
+        AdaptiveInterval::new(AdaptiveConfig {
+            base_interval_ns: 200_000_000,
+            max_interval_ns: 1_600_000_000,
+            overhead_target: target,
+            page_copy_ns: 3_000,
+            checkpoint_base_ns: 60_000,
+        })
+    }
+
+    #[test]
+    fn small_working_set_keeps_base_interval() {
+        let mut c = controller(0.05);
+        for _ in 0..10 {
+            c.observe(20); // 60 µs + 60 µs per 200 ms ≈ 0.06 %
+        }
+        assert_eq!(c.interval_ns(), 200_000_000);
+    }
+
+    #[test]
+    fn heavy_cow_rate_widens_interval_to_cap() {
+        let mut c = controller(0.05);
+        // 100_000 pages * 3 µs = 300 ms of copy cost: over target even at
+        // the maximum interval, so the controller must stop at the cap.
+        for _ in 0..10 {
+            c.observe(100_000);
+        }
+        assert_eq!(c.interval_ns(), 1_600_000_000, "must stop at T_checkpoint");
+    }
+
+    #[test]
+    fn interval_shrinks_back_when_load_drops() {
+        let mut c = controller(0.05);
+        for _ in 0..4 {
+            c.observe(10_000);
+        }
+        let widened = c.interval_ns();
+        assert!(widened > 200_000_000);
+        for _ in 0..10 {
+            c.observe(1);
+        }
+        assert_eq!(c.interval_ns(), 200_000_000);
+        assert!(c.interval_ns() < widened);
+    }
+
+    #[test]
+    fn cost_model_scales_with_pages() {
+        let c = controller(0.05);
+        assert_eq!(c.checkpoint_cost_ns(0), 60_000);
+        assert_eq!(c.checkpoint_cost_ns(100), 60_000 + 300_000);
+    }
+}

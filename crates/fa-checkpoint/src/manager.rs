@@ -1,0 +1,344 @@
+//! The checkpoint ring and rollback.
+
+use std::collections::VecDeque;
+
+use fa_proc::{ProcSnapshot, Process};
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveInterval};
+
+/// One retained checkpoint.
+pub struct Checkpoint {
+    /// Monotonic checkpoint id.
+    pub id: u64,
+    /// Virtual time at which it was taken.
+    pub at_ns: u64,
+    /// The process snapshot.
+    pub snap: ProcSnapshot,
+    /// Pages dirtied since the previous checkpoint (its COW cost).
+    pub dirty_pages: usize,
+    /// Input-log cursor at checkpoint time.
+    pub cursor: usize,
+}
+
+/// Aggregate checkpointing statistics (paper Table 7 inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints taken.
+    pub taken: u64,
+    /// Total pages dirtied across all intervals.
+    pub total_dirty_pages: u64,
+    /// Total virtual time spent taking checkpoints.
+    pub total_cost_ns: u64,
+    /// Virtual time of the first checkpoint.
+    pub first_at_ns: u64,
+    /// Virtual time of the most recent checkpoint.
+    pub last_at_ns: u64,
+}
+
+impl CheckpointStats {
+    /// Average megabytes of COW pages per checkpoint.
+    pub fn mb_per_checkpoint(&self) -> f64 {
+        if self.taken == 0 {
+            return 0.0;
+        }
+        (self.total_dirty_pages as f64 * 4096.0) / (self.taken as f64 * 1_048_576.0)
+    }
+
+    /// Average megabytes of checkpoint data per virtual second.
+    pub fn mb_per_second(&self) -> f64 {
+        let span = self.last_at_ns.saturating_sub(self.first_at_ns);
+        if span == 0 {
+            return 0.0;
+        }
+        (self.total_dirty_pages as f64 * 4096.0 / 1_048_576.0) / (span as f64 / 1e9)
+    }
+}
+
+/// Periodic checkpointing with a bounded history ring.
+pub struct CheckpointManager {
+    ring: VecDeque<Checkpoint>,
+    max_keep: usize,
+    next_id: u64,
+    controller: AdaptiveInterval,
+    next_due_ns: u64,
+    stats: CheckpointStats,
+}
+
+impl CheckpointManager {
+    /// Creates a manager keeping up to `max_keep` checkpoints.
+    pub fn new(config: AdaptiveConfig, max_keep: usize) -> Self {
+        let controller = AdaptiveInterval::new(config);
+        CheckpointManager {
+            ring: VecDeque::new(),
+            max_keep,
+            next_id: 0,
+            next_due_ns: controller.interval_ns(),
+            controller,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// Takes a checkpoint if the process clock has passed the due time.
+    ///
+    /// Charges the COW replication cost of the elapsed interval to the
+    /// process clock and feeds the adaptive controller.
+    pub fn maybe_checkpoint(&mut self, process: &mut Process) -> Option<u64> {
+        if process.ctx.clock.now() < self.next_due_ns {
+            return None;
+        }
+        let id = self.force_checkpoint(process);
+        Some(id)
+    }
+
+    /// Takes a checkpoint unconditionally.
+    pub fn force_checkpoint(&mut self, process: &mut Process) -> u64 {
+        let dirty = process.ctx.mem.take_dirty_pages();
+        let cost = self.controller.checkpoint_cost_ns(dirty);
+        process.ctx.clock.advance(cost);
+        self.controller.observe(dirty);
+        let id = self.next_id;
+        self.next_id += 1;
+        let at_ns = process.ctx.clock.now();
+        self.ring.push_back(Checkpoint {
+            id,
+            at_ns,
+            snap: process.snapshot(),
+            dirty_pages: dirty,
+            cursor: process.cursor(),
+        });
+        while self.ring.len() > self.max_keep {
+            self.ring.pop_front();
+        }
+        self.stats.taken += 1;
+        self.stats.total_dirty_pages += dirty as u64;
+        self.stats.total_cost_ns += cost;
+        if self.stats.taken == 1 {
+            self.stats.first_at_ns = at_ns;
+        }
+        self.stats.last_at_ns = at_ns;
+        self.next_due_ns = at_ns + self.controller.interval_ns();
+        id
+    }
+
+    /// Returns the retained checkpoints, oldest first.
+    pub fn checkpoints(&self) -> impl DoubleEndedIterator<Item = &Checkpoint> {
+        self.ring.iter()
+    }
+
+    /// Returns the checkpoint with the given id, if retained.
+    pub fn get(&self, id: u64) -> Option<&Checkpoint> {
+        self.ring.iter().find(|c| c.id == id)
+    }
+
+    /// Returns the `k`-th most recent checkpoint (0 = newest).
+    pub fn nth_newest(&self, k: usize) -> Option<&Checkpoint> {
+        let len = self.ring.len();
+        len.checked_sub(k + 1).and_then(|i| self.ring.get(i))
+    }
+
+    /// Returns the number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` if no checkpoints are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Rolls the process back to the given checkpoint, charging a restore
+    /// cost proportional to the snapshot's footprint.
+    pub fn rollback_to(&self, process: &mut Process, id: u64) -> bool {
+        let Some(ckpt) = self.ring.iter().find(|c| c.id == id) else {
+            return false;
+        };
+        process.restore(&ckpt.snap);
+        // Reinstating the saved task state: charge a fixed cost plus a
+        // per-page share for the page-table swap.
+        process.ctx.clock.advance(80_000);
+        process.ctx.mem.take_dirty_pages();
+        true
+    }
+
+    /// Drops all checkpoints newer than `id` (after recovery commits to a
+    /// rollback point, the discarded future is invalid).
+    pub fn truncate_after(&mut self, id: u64) {
+        self.ring.retain(|c| c.id <= id);
+        if let Some(last) = self.ring.back() {
+            self.next_id = last.id + 1;
+        }
+    }
+
+    /// Returns the current checkpoint interval.
+    pub fn interval_ns(&self) -> u64 {
+        self.controller.interval_ns()
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Resets the due time relative to the process clock (after recovery,
+    /// so the next checkpoint is not immediately due).
+    pub fn rearm(&mut self, process: &Process) {
+        self.next_due_ns = process.ctx.clock.now() + self.controller.interval_ns();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+
+    /// Touches `input.a` bytes of a rolling buffer each request.
+    #[derive(Clone, Default)]
+    struct Toucher {
+        bufs: Vec<fa_mem::Addr>,
+    }
+
+    impl App for Toucher {
+        fn name(&self) -> &'static str {
+            "toucher"
+        }
+
+        fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+            ctx.call("touch", |ctx| {
+                let p = ctx.malloc(input.a.max(8))?;
+                ctx.fill(p, input.a.max(8), 0x33)?;
+                self.bufs.push(p);
+                if self.bufs.len() > 4 {
+                    let victim = self.bufs.remove(0);
+                    ctx.free(victim)?;
+                }
+                Ok(Response::bytes(input.a))
+            })
+        }
+
+        fn clone_app(&self) -> BoxedApp {
+            Box::new(self.clone())
+        }
+    }
+
+    fn process() -> Process {
+        Process::launch(Box::new(Toucher::default()), ProcessCtx::new(1 << 26)).unwrap()
+    }
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            base_interval_ns: 1_000_000, // 1 ms for fast tests
+            max_interval_ns: 8_000_000,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoints_fire_on_interval() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        let mut taken = 0;
+        for i in 0..200 {
+            p.feed(InputBuilder::op(0).a(256).gap_us(20).build());
+            if mgr.maybe_checkpoint(&mut p).is_some() {
+                taken += 1;
+            }
+            let _ = i;
+        }
+        assert!(taken >= 2, "expected several checkpoints, got {taken}");
+        assert!(mgr.len() <= 10);
+        assert_eq!(mgr.stats().taken, taken as u64);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut mgr = CheckpointManager::new(config(), 3);
+        let mut p = process();
+        for _ in 0..5 {
+            p.feed(InputBuilder::op(0).a(64).build());
+            mgr.force_checkpoint(&mut p);
+        }
+        assert_eq!(mgr.len(), 3);
+        let ids: Vec<u64> = mgr.checkpoints().map(|c| c.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(mgr.nth_newest(0).unwrap().id, 4);
+        assert_eq!(mgr.nth_newest(2).unwrap().id, 2);
+        assert!(mgr.nth_newest(3).is_none());
+    }
+
+    #[test]
+    fn rollback_restores_process_state() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        for _ in 0..3 {
+            p.feed(InputBuilder::op(0).a(64).build());
+        }
+        let id = mgr.force_checkpoint(&mut p);
+        let cursor_at_ckpt = p.cursor();
+        for _ in 0..5 {
+            p.feed(InputBuilder::op(0).a(64).build());
+        }
+        assert!(mgr.rollback_to(&mut p, id));
+        assert_eq!(p.cursor(), cursor_at_ckpt);
+        assert!(!mgr.rollback_to(&mut p, 999));
+    }
+
+    #[test]
+    fn rollback_then_replay_is_deterministic() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        for i in 0..4 {
+            p.feed(InputBuilder::op(0).a(64 + i).build());
+        }
+        let id = mgr.force_checkpoint(&mut p);
+        for i in 0..6 {
+            p.feed(InputBuilder::op(0).a(128 + i).build());
+        }
+        let heap_allocs_before = p.ctx.alloc().heap().stats().allocs;
+        mgr.rollback_to(&mut p, id);
+        while p.step().is_some() {}
+        assert_eq!(
+            p.ctx.alloc().heap().stats().allocs,
+            heap_allocs_before,
+            "replay must reproduce the identical allocation sequence"
+        );
+    }
+
+    #[test]
+    fn truncate_after_drops_newer() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            p.feed(InputBuilder::op(0).a(64).build());
+            ids.push(mgr.force_checkpoint(&mut p));
+        }
+        mgr.truncate_after(ids[1]);
+        let remaining: Vec<u64> = mgr.checkpoints().map(|c| c.id).collect();
+        assert_eq!(remaining, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn checkpoint_cost_charged_to_clock() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        p.feed(InputBuilder::op(0).a(8192).build());
+        let t0 = p.ctx.clock.now();
+        mgr.force_checkpoint(&mut p);
+        assert!(p.ctx.clock.now() > t0, "checkpoint must cost virtual time");
+    }
+
+    #[test]
+    fn stats_report_mb_figures() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        for _ in 0..20 {
+            p.feed(InputBuilder::op(0).a(4096).gap_us(100).build());
+            mgr.maybe_checkpoint(&mut p);
+        }
+        mgr.force_checkpoint(&mut p);
+        let stats = mgr.stats();
+        assert!(stats.taken >= 2);
+        assert!(stats.mb_per_checkpoint() > 0.0);
+        assert!(stats.mb_per_second() > 0.0);
+    }
+}

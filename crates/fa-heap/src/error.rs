@@ -1,0 +1,127 @@
+//! Heap failure modes.
+//!
+//! These are the allocator-side crashes First-Aid's error monitors catch:
+//! metadata corruption discovered during malloc/free (the fate of the
+//! paper's buffer-overflow bugs) and invalid/double frees (the CVS bug).
+
+use core::fmt;
+
+use fa_mem::{Addr, MemFault};
+
+/// Why a chunk header failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CorruptKind {
+    /// The size field is not a legal chunk size (alignment / minimum).
+    BadSize,
+    /// The chunk extends past the heap break.
+    OutOfHeap,
+    /// `next.prev_size` disagrees with this chunk's size — the classic
+    /// footprint of an overflow into the next chunk's boundary tag.
+    BoundaryTagMismatch,
+    /// A chunk the bins claim is free is not marked free in memory (or
+    /// vice versa).
+    BinInconsistency,
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptKind::BadSize => "corrupted size field",
+            CorruptKind::OutOfHeap => "chunk extends past heap break",
+            CorruptKind::BoundaryTagMismatch => "corrupted size vs. prev_size",
+            CorruptKind::BinInconsistency => "free-bin inconsistency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a `free` call was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InvalidFreeKind {
+    /// Pointer not inside the heap or unaligned.
+    WildPointer,
+    /// The chunk is already marked free — a double free.
+    DoubleFree,
+}
+
+impl fmt::Display for InvalidFreeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvalidFreeKind::WildPointer => "invalid pointer",
+            InvalidFreeKind::DoubleFree => "double free or corruption",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An allocator failure.
+///
+/// `CorruptChunk` and `InvalidFree` correspond to glibc's runtime abort
+/// messages; they terminate the simulated process and are caught by
+/// First-Aid's error monitor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HeapError {
+    /// Chunk metadata failed an integrity check.
+    CorruptChunk {
+        /// Address of the offending chunk header.
+        chunk: Addr,
+        /// Which invariant was violated.
+        kind: CorruptKind,
+    },
+    /// A `free` call had an illegal argument.
+    InvalidFree {
+        /// The user pointer passed to `free`.
+        addr: Addr,
+        /// Why it was rejected.
+        kind: InvalidFreeKind,
+    },
+    /// The heap could not grow any further.
+    OutOfMemory {
+        /// The request that could not be satisfied, in bytes.
+        requested: u64,
+    },
+    /// The underlying simulated memory faulted.
+    Mem(MemFault),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::CorruptChunk { chunk, kind } => {
+                write!(f, "malloc(): {kind} (chunk {chunk})")
+            }
+            HeapError::InvalidFree { addr, kind } => write!(f, "free(): {kind} ({addr})"),
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "out of memory (requested {requested} bytes)")
+            }
+            HeapError::Mem(e) => write!(f, "memory fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+impl From<MemFault> for HeapError {
+    fn from(e: MemFault) -> Self {
+        HeapError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_glibc_style() {
+        let e = HeapError::CorruptChunk {
+            chunk: Addr(0x10),
+            kind: CorruptKind::BoundaryTagMismatch,
+        };
+        assert_eq!(e.to_string(), "malloc(): corrupted size vs. prev_size (chunk 0x10)");
+        let e = HeapError::InvalidFree {
+            addr: Addr(0x20),
+            kind: InvalidFreeKind::DoubleFree,
+        };
+        assert_eq!(e.to_string(), "free(): double free or corruption (0x20)");
+    }
+}

@@ -1,0 +1,219 @@
+//! Heap walking and whole-heap integrity checking.
+//!
+//! Walking the chunk sequence is what First-Aid's *heap marking* technique
+//! (paper §4.1, Fig. 3) is built on: before re-executing from a checkpoint,
+//! every free chunk is canary-filled so bugs that triggered *before* the
+//! checkpoint still manifest as canary corruption during re-execution.
+
+use fa_mem::{Addr, SimMemory};
+
+use crate::chunk::{ChunkHeader, ALIGN, HDR_SIZE, MIN_CHUNK};
+use crate::error::{CorruptKind, HeapError};
+use crate::heap::Heap;
+
+/// A chunk observed during a heap walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Address of the chunk header.
+    pub chunk: Addr,
+    /// Address of the user area.
+    pub user: Addr,
+    /// Total chunk size (header included).
+    pub size: u64,
+    /// The chunk is allocated.
+    pub in_use: bool,
+    /// The previous chunk is allocated.
+    pub prev_in_use: bool,
+    /// This chunk is the top chunk.
+    pub is_top: bool,
+}
+
+impl ChunkInfo {
+    /// Returns the usable user-area size.
+    pub fn usable(&self) -> u64 {
+        self.size - HDR_SIZE
+    }
+}
+
+impl Heap {
+    /// Walks the heap from base to break, returning every chunk in address
+    /// order.
+    ///
+    /// The walk validates basic header sanity as it goes so corruption
+    /// cannot send it into an endless loop; a bad header yields
+    /// [`HeapError::CorruptChunk`].
+    pub fn walk(&self, mem: &mut SimMemory) -> Result<Vec<ChunkInfo>, HeapError> {
+        let mut out = Vec::new();
+        let mut cursor = self.base();
+        let mut prev_size = 0u64;
+        let mut prev_in_use = true;
+        while cursor < self.brk() {
+            let hdr = ChunkHeader::read(mem, cursor)?;
+            if hdr.size < MIN_CHUNK || hdr.size % ALIGN != 0 {
+                return Err(HeapError::CorruptChunk {
+                    chunk: cursor,
+                    kind: CorruptKind::BadSize,
+                });
+            }
+            if cursor.0 + hdr.size > self.brk().0 {
+                return Err(HeapError::CorruptChunk {
+                    chunk: cursor,
+                    kind: CorruptKind::OutOfHeap,
+                });
+            }
+            if hdr.prev_size != prev_size || hdr.prev_in_use != prev_in_use {
+                return Err(HeapError::CorruptChunk {
+                    chunk: cursor,
+                    kind: CorruptKind::BoundaryTagMismatch,
+                });
+            }
+            out.push(ChunkInfo {
+                chunk: cursor,
+                user: ChunkHeader::user_of(cursor),
+                size: hdr.size,
+                in_use: hdr.in_use,
+                prev_in_use: hdr.prev_in_use,
+                is_top: cursor == self.top(),
+            });
+            prev_size = hdr.size;
+            prev_in_use = hdr.in_use;
+            cursor = cursor.offset(hdr.size);
+        }
+        Ok(out)
+    }
+
+    /// Performs a full consistency check of boundary tags and free bins.
+    ///
+    /// Verifies that chunks tile the heap exactly, every boundary tag
+    /// agrees with its physical neighbour, the final chunk is the free top
+    /// chunk, and the bin index matches the set of free non-top chunks.
+    pub fn check_integrity(&self, mem: &mut SimMemory) -> Result<(), HeapError> {
+        let chunks = self.walk(mem)?;
+        let last = chunks.last().ok_or(HeapError::CorruptChunk {
+            chunk: self.base(),
+            kind: CorruptKind::BadSize,
+        })?;
+        if !last.is_top || last.in_use || last.chunk.0 + last.size != self.brk().0 {
+            return Err(HeapError::CorruptChunk {
+                chunk: last.chunk,
+                kind: CorruptKind::OutOfHeap,
+            });
+        }
+        let mut free: Vec<(Addr, u64)> = chunks
+            .iter()
+            .filter(|c| !c.in_use && !c.is_top)
+            .map(|c| (c.chunk, c.size))
+            .collect();
+        free.sort();
+        let mut binned = self.free_chunks();
+        binned.sort();
+        if free != binned {
+            return Err(HeapError::CorruptChunk {
+                chunk: free
+                    .first()
+                    .or(binned.first())
+                    .map(|&(a, _)| a)
+                    .unwrap_or(self.base()),
+                kind: CorruptKind::BinInconsistency,
+            });
+        }
+        // No two adjacent free chunks (coalescing invariant).
+        for pair in chunks.windows(2) {
+            if !pair[0].in_use && !pair[1].in_use && !pair[1].is_top {
+                return Err(HeapError::CorruptChunk {
+                    chunk: pair[1].chunk,
+                    kind: CorruptKind::BinInconsistency,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the chunk containing `addr`, if any (linear scan).
+    pub fn find_chunk(&self, mem: &mut SimMemory, addr: Addr) -> Option<ChunkInfo> {
+        if !self.contains(addr) {
+            return None;
+        }
+        self.walk(mem)
+            .ok()?
+            .into_iter()
+            .find(|c| addr >= c.chunk && addr.0 < c.chunk.0 + c.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+
+    fn setup() -> (SimMemory, Heap) {
+        let mut mem = SimMemory::new();
+        let heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
+        (mem, heap)
+    }
+
+    #[test]
+    fn fresh_heap_is_single_top_chunk() {
+        let (mut mem, heap) = setup();
+        let chunks = heap.walk(&mut mem).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].is_top && !chunks[0].in_use);
+        heap.check_integrity(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn walk_reflects_allocations() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        let b = heap.malloc(&mut mem, 128).unwrap();
+        heap.free(&mut mem, a).unwrap();
+        let chunks = heap.walk(&mut mem).unwrap();
+        assert_eq!(chunks.len(), 3); // free(a), live(b), top
+        assert!(!chunks[0].in_use);
+        assert!(chunks[1].in_use);
+        assert_eq!(chunks[1].user, b);
+        heap.check_integrity(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        let _b = heap.malloc(&mut mem, 64).unwrap();
+        let usable = heap.usable_size(&mut mem, a).unwrap();
+        mem.write(a.offset(usable), &[0x77; 16]).unwrap();
+        assert!(heap.check_integrity(&mut mem).is_err());
+    }
+
+    #[test]
+    fn find_chunk_locates_owner() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        let info = heap.find_chunk(&mut mem, a.offset(10)).unwrap();
+        assert_eq!(info.user, a);
+        assert!(heap.find_chunk(&mut mem, Addr(0x10)).is_none());
+    }
+
+    #[test]
+    fn integrity_holds_under_churn() {
+        let (mut mem, mut heap) = setup();
+        let mut live = Vec::new();
+        for i in 0..300u64 {
+            let p = heap.malloc(&mut mem, 16 + (i * 37) % 700).unwrap();
+            live.push(p);
+            if i % 3 == 2 {
+                let victim = live.remove(((i as usize) * 11) % live.len());
+                heap.free(&mut mem, victim).unwrap();
+            }
+            if i % 50 == 49 {
+                heap.check_integrity(&mut mem).unwrap();
+            }
+        }
+        for p in live {
+            heap.free(&mut mem, p).unwrap();
+        }
+        heap.check_integrity(&mut mem).unwrap();
+        let chunks = heap.walk(&mut mem).unwrap();
+        assert_eq!(chunks.len(), 1, "everything must coalesce back into top");
+    }
+}

@@ -1,0 +1,155 @@
+//! Virtual addresses in the simulated address space.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use crate::page::PAGE_SIZE;
+
+/// A virtual address in the simulated address space.
+///
+/// Addresses are plain 64-bit values; arithmetic helpers are provided so
+/// allocator and application code reads like pointer arithmetic without
+/// ever touching real memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null address, never mapped.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns the page number containing this address.
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Returns the byte offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address advanced by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 64-bit address space, which indicates a
+    /// logic error in the caller rather than a simulated memory bug.
+    #[inline]
+    pub fn offset(self, n: u64) -> Addr {
+        Addr(self.0.checked_add(n).expect("address overflow"))
+    }
+
+    /// Returns the address moved back by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow below address zero.
+    #[inline]
+    pub fn back(self, n: u64) -> Addr {
+        Addr(self.0.checked_sub(n).expect("address underflow"))
+    }
+
+    /// Returns this address rounded up to the given power-of-two alignment.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Addr {
+        debug_assert!(align.is_power_of_two());
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        self.offset(rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.offset(rhs);
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("address difference underflow")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        let a = Addr(PAGE_SIZE as u64 * 3 + 17);
+        assert_eq!(a.page(), 3);
+        assert_eq!(a.page_offset(), 17);
+    }
+
+    #[test]
+    fn alignment() {
+        assert_eq!(Addr(15).align_up(16), Addr(16));
+        assert_eq!(Addr(16).align_up(16), Addr(16));
+        assert!(Addr(32).is_aligned(16));
+        assert!(!Addr(33).is_aligned(16));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr(100);
+        assert_eq!(a.offset(28), Addr(128));
+        assert_eq!(a + 28, Addr(128));
+        assert_eq!(Addr(128) - a, 28);
+        assert_eq!(Addr(128).back(28), a);
+    }
+
+    #[test]
+    fn null_checks() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(1).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "address underflow")]
+    fn underflow_panics() {
+        let _ = Addr(3).back(4);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr(0xab)), "0xab");
+        assert_eq!(format!("{:?}", Addr(0xab)), "0xab");
+    }
+}

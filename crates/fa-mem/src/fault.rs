@@ -1,0 +1,86 @@
+//! Memory access faults.
+//!
+//! A [`MemFault`] is the simulated analog of a hardware exception (SIGSEGV /
+//! SIGBUS) delivered to the process. First-Aid's cheapest error monitor is
+//! exactly this: catching access-violation exceptions raised from the kernel
+//! (paper §3, "Error monitor(s)").
+
+use core::fmt;
+
+use crate::addr::Addr;
+
+/// Whether a faulting access was a read or a write.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load from memory.
+    Read,
+    /// A store to memory.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A memory access violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemFault {
+    /// An access touched an address outside every mapped region.
+    AccessViolation {
+        /// Faulting address.
+        addr: Addr,
+        /// Read or write.
+        kind: AccessKind,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
+    /// A mapping request overlapped an existing region.
+    MapOverlap {
+        /// Requested region start.
+        addr: Addr,
+        /// Requested region length.
+        len: u64,
+    },
+    /// A region operation referred to an unknown region.
+    NoSuchRegion,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::AccessViolation { addr, kind, len } => {
+                write!(f, "access violation: {kind} of {len} byte(s) at {addr}")
+            }
+            MemFault::MapOverlap { addr, len } => {
+                write!(f, "mapping overlap at {addr} (+{len})")
+            }
+            MemFault::NoSuchRegion => f.write_str("no such region"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let f = MemFault::AccessViolation {
+            addr: Addr(0x10),
+            kind: AccessKind::Write,
+            len: 8,
+        };
+        assert_eq!(f.to_string(), "access violation: write of 8 byte(s) at 0x10");
+        assert_eq!(
+            MemFault::MapOverlap { addr: Addr(4), len: 2 }.to_string(),
+            "mapping overlap at 0x4 (+2)"
+        );
+    }
+}

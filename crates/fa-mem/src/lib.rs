@@ -1,0 +1,48 @@
+//! Simulated paged memory substrate for the First-Aid reproduction.
+//!
+//! The original First-Aid system (EuroSys 2009) operates on native process
+//! memory: glibc's heap lives in real pages, checkpoints are taken with a
+//! fork-like copy-on-write operation, and memory bugs manifest through the
+//! physical heap layout. This crate reproduces that substrate
+//! deterministically in user space:
+//!
+//! * [`SimMemory`] is a sparse, paged address space (4 KiB pages) with
+//!   explicit region mapping and lazy zero-filled page materialization,
+//! * reads and writes of unmapped addresses return [`MemFault`]s — the
+//!   analog of a SIGSEGV caught by First-Aid's error monitor,
+//! * [`SimMemory::snapshot`] produces an O(mapped pages) copy-on-write
+//!   snapshot ([`MemSnapshot`]) by cloning `Arc`-shared pages; subsequent
+//!   writes replicate pages on demand, exactly like fork-based COW
+//!   checkpointing,
+//! * dirty-page accounting ([`SimMemory::take_dirty_pages`]) drives the
+//!   adaptive checkpoint-interval controller and the checkpoint space
+//!   overhead experiments (paper Table 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use fa_mem::{Addr, SimMemory};
+//!
+//! let mut mem = SimMemory::new();
+//! let heap = mem.map(Addr(0x1000_0000), 1 << 20, "heap").unwrap();
+//! mem.write_u64(Addr(0x1000_0000), 0xdead_beef).unwrap();
+//! let snap = mem.snapshot();
+//! mem.write_u64(Addr(0x1000_0000), 7).unwrap();
+//! mem.restore(&snap);
+//! assert_eq!(mem.read_u64(Addr(0x1000_0000)).unwrap(), 0xdead_beef);
+//! let _ = heap;
+//! ```
+
+pub mod addr;
+pub mod fault;
+pub mod memory;
+pub mod page;
+pub mod region;
+pub mod snapshot;
+
+pub use addr::Addr;
+pub use fault::{AccessKind, MemFault};
+pub use memory::SimMemory;
+pub use page::{Page, PAGE_SIZE};
+pub use region::{Region, RegionId};
+pub use snapshot::MemSnapshot;

@@ -1,0 +1,532 @@
+//! The simulated address space.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::addr::Addr;
+use crate::fault::{AccessKind, MemFault};
+use crate::page::{Page, SharedPage, PAGE_SIZE};
+use crate::region::{Region, RegionId};
+use crate::snapshot::MemSnapshot;
+
+/// A sparse, paged, checkpointable address space.
+///
+/// `SimMemory` stands in for the native process memory First-Aid operates
+/// on. It provides:
+///
+/// * region mapping with `sbrk`-style growth for the simulated heap,
+/// * byte/word reads and writes with fault detection,
+/// * O(mapped pages) copy-on-write snapshots for checkpointing,
+/// * dirty-page accounting for the adaptive checkpoint controller.
+///
+/// All pages materialize lazily and zero-filled on first write, like
+/// anonymous mappings handed out by the kernel. Reads of mapped but
+/// untouched pages observe zeros.
+#[derive(Clone)]
+pub struct SimMemory {
+    /// Mapped regions, sorted by start address.
+    regions: Vec<Region>,
+    /// Materialized pages, keyed by page number.
+    pages: BTreeMap<u64, SharedPage>,
+    /// Page numbers written since the last [`Self::take_dirty_pages`] call.
+    dirty: BTreeSet<u64>,
+    /// Next region id to hand out.
+    next_region: u32,
+    /// Total bytes read since creation (not rolled back by `restore`).
+    bytes_read: u64,
+    /// Total bytes written since creation (not rolled back by `restore`).
+    bytes_written: u64,
+}
+
+impl SimMemory {
+    /// Creates an empty address space with no mapped regions.
+    pub fn new() -> Self {
+        SimMemory {
+            regions: Vec::new(),
+            pages: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            next_region: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Region management
+    // ------------------------------------------------------------------
+
+    /// Maps a new region `[start, start + len)`.
+    ///
+    /// Returns the region's id, or [`MemFault::MapOverlap`] if the range
+    /// intersects an existing region.
+    pub fn map(&mut self, start: Addr, len: u64, name: &str) -> Result<RegionId, MemFault> {
+        if self.regions.iter().any(|r| r.overlaps(start, len)) {
+            return Err(MemFault::MapOverlap { addr: start, len });
+        }
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        let region = Region {
+            id,
+            start,
+            end: start.offset(len),
+            name: name.to_owned(),
+        };
+        let pos = self
+            .regions
+            .partition_point(|r| r.start < region.start);
+        self.regions.insert(pos, region);
+        Ok(id)
+    }
+
+    /// Removes a region and drops its materialized pages.
+    pub fn unmap(&mut self, id: RegionId) -> Result<(), MemFault> {
+        let pos = self
+            .regions
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(MemFault::NoSuchRegion)?;
+        let region = self.regions.remove(pos);
+        let first = region.start.page();
+        let last = region.end.offset(PAGE_SIZE as u64 - 1).page();
+        // Only drop pages not shared with a neighbouring region.
+        let shared_first = self.regions.iter().any(|r| {
+            r.contains_range(Addr(first * PAGE_SIZE as u64), 1)
+                || r.overlaps(Addr(first * PAGE_SIZE as u64), PAGE_SIZE as u64)
+        });
+        for page in first..last {
+            if page == first && shared_first {
+                continue;
+            }
+            self.pages.remove(&page);
+            self.dirty.remove(&page);
+        }
+        Ok(())
+    }
+
+    /// Grows (or shrinks) a region to end at `new_end`, the `sbrk` analog.
+    ///
+    /// Shrinking drops pages entirely beyond the new end. Growing fails
+    /// with [`MemFault::MapOverlap`] if the new range would collide with the
+    /// next region.
+    pub fn grow_region(&mut self, id: RegionId, new_end: Addr) -> Result<(), MemFault> {
+        let pos = self
+            .regions
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(MemFault::NoSuchRegion)?;
+        if new_end < self.regions[pos].start {
+            return Err(MemFault::NoSuchRegion);
+        }
+        if let Some(next) = self.regions.get(pos + 1) {
+            if new_end.0 > next.start.0 {
+                return Err(MemFault::MapOverlap {
+                    addr: next.start,
+                    len: new_end - next.start,
+                });
+            }
+        }
+        let old_end = self.regions[pos].end;
+        self.regions[pos].end = new_end;
+        if new_end < old_end {
+            // Drop pages that now lie entirely outside the region.
+            let first_dead = new_end.offset(PAGE_SIZE as u64 - 1).page();
+            let last = old_end.offset(PAGE_SIZE as u64 - 1).page();
+            for page in first_dead..last {
+                self.pages.remove(&page);
+                self.dirty.remove(&page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<&Region> {
+        let pos = self.regions.partition_point(|r| r.start.0 <= addr.0);
+        pos.checked_sub(1)
+            .map(|i| &self.regions[i])
+            .filter(|r| addr < r.end)
+    }
+
+    /// Returns the region with the given id, if mapped.
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Returns all mapped regions in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    fn check_mapped(&self, addr: Addr, len: u64, kind: AccessKind) -> Result<(), MemFault> {
+        match self.region_of(addr) {
+            Some(r) if r.contains_range(addr, len) => Ok(()),
+            _ => Err(MemFault::AccessViolation { addr, kind, len }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&mut self, addr: Addr, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check_mapped(addr, buf.len() as u64, AccessKind::Read)?;
+        self.bytes_read += buf.len() as u64;
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let in_page = PAGE_SIZE - cursor.page_offset();
+            let take = in_page.min(buf.len() - filled);
+            match self.pages.get(&cursor.page()) {
+                Some(page) => {
+                    let off = cursor.page_offset();
+                    buf[filled..filled + take].copy_from_slice(&page.bytes()[off..off + take]);
+                }
+                None => buf[filled..filled + take].fill(0),
+            }
+            filled += take;
+            cursor = cursor.offset(take as u64);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemFault> {
+        self.check_mapped(addr, buf.len() as u64, AccessKind::Write)?;
+        self.bytes_written += buf.len() as u64;
+        let mut cursor = addr;
+        let mut taken = 0usize;
+        while taken < buf.len() {
+            let in_page = PAGE_SIZE - cursor.page_offset();
+            let take = in_page.min(buf.len() - taken);
+            let pageno = cursor.page();
+            let page = self
+                .pages
+                .entry(pageno)
+                .or_insert_with(|| Arc::new(Page::zeroed()));
+            let off = cursor.page_offset();
+            Arc::make_mut(page).bytes_mut()[off..off + take]
+                .copy_from_slice(&buf[taken..taken + take]);
+            self.dirty.insert(pageno);
+            taken += take;
+            cursor = cursor.offset(take as u64);
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_bytes(&mut self, addr: Addr, len: u64) -> Result<Vec<u8>, MemFault> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, addr: Addr) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) -> Result<(), MemFault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, addr: Addr) -> Result<u32, MemFault> {
+        let mut buf = [0u8; 4];
+        self.read(addr, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) -> Result<(), MemFault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, addr: Addr) -> Result<u8, MemFault> {
+        let mut buf = [0u8; 1];
+        self.read(addr, &mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), MemFault> {
+        self.write(addr, &[value])
+    }
+
+    /// Fills `[addr, addr + len)` with `byte`.
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemFault> {
+        // Chunked to avoid a giant temporary for large fills.
+        const CHUNK: usize = PAGE_SIZE;
+        let tmp = [byte; CHUNK];
+        let mut cursor = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK as u64);
+            self.write(cursor, &tmp[..take as usize])?;
+            cursor = cursor.offset(take);
+            remaining -= take;
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (non-overlapping or forward
+    /// overlapping safe, like `memmove` via a temporary).
+    pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<(), MemFault> {
+        let data = self.read_bytes(src, len)?;
+        self.write(dst, &data)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Takes a copy-on-write snapshot of the entire address space.
+    ///
+    /// Cost is proportional to the number of materialized pages (an `Arc`
+    /// clone per page), not their contents — the fork analog.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            regions: self.regions.clone(),
+            pages: self.pages.clone(),
+            next_region: self.next_region,
+        }
+    }
+
+    /// Restores the address space from a snapshot, discarding all changes
+    /// made after it was taken.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        self.regions = snap.regions.clone();
+        self.pages = snap.pages.clone();
+        self.next_region = snap.next_region;
+        self.dirty.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Returns and clears the count of pages dirtied since the last call.
+    ///
+    /// This is the COW page rate input of the adaptive checkpoint-interval
+    /// controller (paper §3, "Lightweight checkpoint/rollback").
+    pub fn take_dirty_pages(&mut self) -> usize {
+        let n = self.dirty.len();
+        self.dirty.clear();
+        n
+    }
+
+    /// Returns the count of pages dirtied since the last
+    /// [`Self::take_dirty_pages`] without clearing it.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Returns the number of materialized (resident) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns the total size of all mapped regions in bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.iter().map(Region::len).sum()
+    }
+
+    /// Returns total bytes read through this address space since creation.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Returns total bytes written through this address space since
+    /// creation.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        SimMemory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped() -> (SimMemory, Addr) {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000_0000);
+        mem.map(base, 1 << 20, "heap").unwrap();
+        (mem, base)
+    }
+
+    #[test]
+    fn zero_filled_on_first_read() {
+        let (mut mem, base) = mapped();
+        assert_eq!(mem.read_u64(base).unwrap(), 0);
+        assert_eq!(mem.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (mut mem, base) = mapped();
+        mem.write(base.offset(100), b"hello world").unwrap();
+        assert_eq!(mem.read_bytes(base.offset(100), 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let (mut mem, base) = mapped();
+        let addr = base.offset(PAGE_SIZE as u64 - 3);
+        mem.write(addr, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(mem.read_bytes(addr, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let (mut mem, base) = mapped();
+        let err = mem.read_u8(Addr(0x50)).unwrap_err();
+        assert!(matches!(err, MemFault::AccessViolation { .. }));
+        // One byte past the end of the region.
+        let end = base.offset(1 << 20);
+        assert!(mem.write_u8(end, 1).is_err());
+        // Access straddling the region end.
+        assert!(mem.write(end.back(4), &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn map_overlap_rejected() {
+        let (mut mem, base) = mapped();
+        assert!(matches!(
+            mem.map(base.offset(512), 16, "x"),
+            Err(MemFault::MapOverlap { .. })
+        ));
+        // Adjacent is fine.
+        assert!(mem.map(base.offset(1 << 20), 4096, "y").is_ok());
+    }
+
+    #[test]
+    fn grow_region_sbrk() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        let id = mem.map(base, 4096, "heap").unwrap();
+        assert!(mem.write_u8(base.offset(5000), 1).is_err());
+        mem.grow_region(id, base.offset(8192)).unwrap();
+        assert!(mem.write_u8(base.offset(5000), 1).is_ok());
+    }
+
+    #[test]
+    fn grow_collision_with_next_region() {
+        let mut mem = SimMemory::new();
+        let id = mem.map(Addr(0x1000), 4096, "heap").unwrap();
+        mem.map(Addr(0x4000), 4096, "other").unwrap();
+        assert!(mem.grow_region(id, Addr(0x4000)).is_ok());
+        assert!(mem.grow_region(id, Addr(0x4001)).is_err());
+    }
+
+    #[test]
+    fn shrink_drops_pages() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        let id = mem.map(base, 1 << 16, "heap").unwrap();
+        mem.fill(base, 1 << 16, 0xaa).unwrap();
+        let before = mem.resident_pages();
+        mem.grow_region(id, base.offset(4096)).unwrap();
+        assert!(mem.resident_pages() < before);
+        // Data in the retained page survives.
+        assert_eq!(mem.read_u8(base).unwrap(), 0xaa);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 111).unwrap();
+        let snap = mem.snapshot();
+        mem.write_u64(base, 222).unwrap();
+        mem.write_u64(base.offset(8192), 333).unwrap();
+        mem.restore(&snap);
+        assert_eq!(mem.read_u64(base).unwrap(), 111);
+        assert_eq!(mem.read_u64(base.offset(8192)).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 1).unwrap();
+        let snap = mem.snapshot();
+        // Dirty the same page heavily after the snapshot.
+        for i in 0..100 {
+            mem.write_u64(base.offset(8 * i), i).unwrap();
+        }
+        mem.restore(&snap);
+        assert_eq!(mem.read_u64(base).unwrap(), 1);
+        assert_eq!(mem.read_u64(base.offset(8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn dirty_page_accounting() {
+        let (mut mem, base) = mapped();
+        assert_eq!(mem.take_dirty_pages(), 0);
+        mem.write_u64(base, 1).unwrap();
+        mem.write_u64(base.offset(16), 1).unwrap(); // same page
+        mem.write_u64(base.offset(PAGE_SIZE as u64), 1).unwrap(); // new page
+        assert_eq!(mem.dirty_page_count(), 2);
+        assert_eq!(mem.take_dirty_pages(), 2);
+        assert_eq!(mem.take_dirty_pages(), 0);
+    }
+
+    #[test]
+    fn region_of_lookup() {
+        let mut mem = SimMemory::new();
+        mem.map(Addr(0x1000), 4096, "a").unwrap();
+        mem.map(Addr(0x10000), 4096, "b").unwrap();
+        assert_eq!(mem.region_of(Addr(0x1000)).unwrap().name, "a");
+        assert_eq!(mem.region_of(Addr(0x10fff)).unwrap().name, "b");
+        assert!(mem.region_of(Addr(0x2000)).is_none());
+        assert!(mem.region_of(Addr(0x0)).is_none());
+    }
+
+    #[test]
+    fn unmap_drops_region() {
+        let mut mem = SimMemory::new();
+        let id = mem.map(Addr(0x1000), 4096, "a").unwrap();
+        mem.write_u8(Addr(0x1000), 9).unwrap();
+        mem.unmap(id).unwrap();
+        assert!(mem.read_u8(Addr(0x1000)).is_err());
+        assert!(matches!(mem.unmap(id), Err(MemFault::NoSuchRegion)));
+    }
+
+    #[test]
+    fn fill_large_range() {
+        let (mut mem, base) = mapped();
+        mem.fill(base.offset(10), 3 * PAGE_SIZE as u64, 0x5a).unwrap();
+        assert_eq!(mem.read_u8(base.offset(10)).unwrap(), 0x5a);
+        assert_eq!(
+            mem.read_u8(base.offset(10 + 3 * PAGE_SIZE as u64 - 1)).unwrap(),
+            0x5a
+        );
+        assert_eq!(mem.read_u8(base.offset(9)).unwrap(), 0);
+    }
+
+    #[test]
+    fn copy_moves_bytes() {
+        let (mut mem, base) = mapped();
+        mem.write(base, b"first-aid").unwrap();
+        mem.copy(base.offset(4096), base, 9).unwrap();
+        assert_eq!(mem.read_bytes(base.offset(4096), 9).unwrap(), b"first-aid");
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 5).unwrap();
+        let _ = mem.read_u32(base).unwrap();
+        assert_eq!(mem.bytes_written(), 8);
+        assert_eq!(mem.bytes_read(), 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fixed-size memory pages.
+
+use std::sync::Arc;
+
+/// Size of a simulated page in bytes, matching the x86 page size the paper's
+/// Flashback-based checkpointing operates on.
+pub const PAGE_SIZE: usize = 4096;
+
+/// One 4 KiB page of simulated memory.
+///
+/// Pages are heap-allocated and shared between the live address space and
+/// outstanding snapshots via [`Arc`]; the first write after a snapshot
+/// replicates the page (`Arc::make_mut`), which is exactly the cost model of
+/// fork-based copy-on-write checkpointing.
+#[derive(Clone)]
+pub struct Page(Box<[u8; PAGE_SIZE]>);
+
+impl Page {
+    /// Returns a fresh zero-filled page, like an anonymous mapping from the
+    /// kernel.
+    pub fn zeroed() -> Self {
+        Page(Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Returns the page contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.0
+    }
+
+    /// Returns the page contents mutably.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.0
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+/// A shared, copy-on-write reference to a page.
+pub type SharedPage = Arc<Page>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_pages_are_zero() {
+        let p = Page::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cow_via_arc_make_mut() {
+        let mut a: SharedPage = Arc::new(Page::zeroed());
+        let b = Arc::clone(&a);
+        Arc::make_mut(&mut a).bytes_mut()[0] = 0xff;
+        assert_eq!(a.bytes()[0], 0xff);
+        assert_eq!(b.bytes()[0], 0, "snapshot page must be unaffected");
+    }
+}

@@ -1,0 +1,90 @@
+//! Mapped regions of the simulated address space.
+
+use crate::addr::Addr;
+
+/// Identifier of a mapped region, stable across snapshots.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// A contiguous mapped range of the address space.
+///
+/// Regions model the process segments First-Aid cares about: the heap
+/// (grown with `sbrk`-style [`crate::SimMemory::grow_region`] calls),
+/// application stacks and statics. Accesses outside every region fault.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Stable identifier.
+    pub id: RegionId,
+    /// First mapped address.
+    pub start: Addr,
+    /// One past the last mapped address.
+    pub end: Addr,
+    /// Human-readable name used in diagnostics ("heap", "stack", ...).
+    pub name: String,
+}
+
+impl Region {
+    /// Returns the region length in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Returns `true` if `[addr, addr + len)` lies entirely inside the
+    /// region.
+    #[inline]
+    pub fn contains_range(&self, addr: Addr, len: u64) -> bool {
+        addr >= self.start && addr.0.saturating_add(len) <= self.end.0
+    }
+
+    /// Returns `true` if the region overlaps `[addr, addr + len)`.
+    #[inline]
+    pub fn overlaps(&self, addr: Addr, len: u64) -> bool {
+        addr.0 < self.end.0 && addr.0.saturating_add(len) > self.start.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(start: u64, end: u64) -> Region {
+        Region {
+            id: RegionId(0),
+            start: Addr(start),
+            end: Addr(end),
+            name: "test".into(),
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let r = region(100, 200);
+        assert!(r.contains_range(Addr(100), 100));
+        assert!(r.contains_range(Addr(150), 10));
+        assert!(!r.contains_range(Addr(150), 51));
+        assert!(!r.contains_range(Addr(99), 1));
+        assert!(!r.contains_range(Addr(200), 1));
+    }
+
+    #[test]
+    fn overlap() {
+        let r = region(100, 200);
+        assert!(r.overlaps(Addr(50), 51));
+        assert!(!r.overlaps(Addr(50), 50));
+        assert!(r.overlaps(Addr(199), 10));
+        assert!(!r.overlaps(Addr(200), 10));
+    }
+
+    #[test]
+    fn length() {
+        assert_eq!(region(100, 200).len(), 100);
+        assert!(region(5, 5).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-based property tests: `SimMemory` must behave exactly like a
+//! flat byte map under arbitrary writes, fills, copies, snapshots, and
+//! restores.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use fa_mem::{Addr, SimMemory};
+
+const BASE: u64 = 0x4000_0000;
+const LEN: u64 = 1 << 16;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { off: u16, data: Vec<u8> },
+    Fill { off: u16, len: u16, byte: u8 },
+    Copy { dst: u16, src: u16, len: u16 },
+    Snapshot,
+    Restore,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| Op::Write { off, data }),
+        2 => (any::<u16>(), any::<u16>(), any::<u8>())
+            .prop_map(|(off, len, byte)| Op::Fill { off, len, byte }),
+        2 => (any::<u16>(), any::<u16>(), 0u16..512)
+            .prop_map(|(dst, src, len)| Op::Copy { dst, src, len }),
+        1 => Just(Op::Snapshot),
+        1 => Just(Op::Restore),
+    ]
+}
+
+/// The reference model: a sparse byte map defaulting to zero.
+#[derive(Clone, Default)]
+struct Model {
+    bytes: HashMap<u64, u8>,
+}
+
+impl Model {
+    fn write(&mut self, off: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.bytes.insert(off + i as u64, b);
+        }
+    }
+
+    fn read(&self, off: u64, len: u64) -> Vec<u8> {
+        (off..off + len)
+            .map(|o| self.bytes.get(&o).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+fn clamp(off: u16, len: u64) -> (u64, u64) {
+    let off = u64::from(off) % LEN;
+    let len = len.min(LEN - off);
+    (off, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_matches_byte_map_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut mem = SimMemory::new();
+        mem.map(Addr(BASE), LEN, "heap").unwrap();
+        let mut model = Model::default();
+        let mut snap: Option<(fa_mem::MemSnapshot, Model)> = None;
+
+        for op in &ops {
+            match op {
+                Op::Write { off, data } => {
+                    let (off, len) = clamp(*off, data.len() as u64);
+                    let data = &data[..len as usize];
+                    if data.is_empty() { continue; }
+                    mem.write(Addr(BASE + off), data).unwrap();
+                    model.write(off, data);
+                }
+                Op::Fill { off, len, byte } => {
+                    let (off, len) = clamp(*off, u64::from(*len));
+                    mem.fill(Addr(BASE + off), len, *byte).unwrap();
+                    model.write(off, &vec![*byte; len as usize]);
+                }
+                Op::Copy { dst, src, len } => {
+                    let (src, len) = clamp(*src, u64::from(*len));
+                    let (dst, len2) = clamp(*dst, len);
+                    let data = model.read(src, len2);
+                    if data.is_empty() { continue; }
+                    mem.copy(Addr(BASE + dst), Addr(BASE + src), len2).unwrap();
+                    model.write(dst, &data);
+                }
+                Op::Snapshot => {
+                    snap = Some((mem.snapshot(), model.clone()));
+                }
+                Op::Restore => {
+                    if let Some((s, m)) = &snap {
+                        mem.restore(s);
+                        model = m.clone();
+                    }
+                }
+            }
+        }
+
+        // Full-extent comparison in page-sized strides.
+        for off in (0..LEN).step_by(4096) {
+            let got = mem.read_bytes(Addr(BASE + off), 4096).unwrap();
+            let want = model.read(off, 4096);
+            prop_assert_eq!(got, want, "divergence in page at offset {}", off);
+        }
+    }
+
+    #[test]
+    fn snapshot_immune_to_later_writes(
+        writes in prop::collection::vec((any::<u16>(), any::<u8>()), 1..100),
+    ) {
+        let mut mem = SimMemory::new();
+        mem.map(Addr(BASE), LEN, "heap").unwrap();
+        for (off, byte) in &writes {
+            let (off, _) = clamp(*off, 1);
+            mem.write_u8(Addr(BASE + off), *byte).unwrap();
+        }
+        let reference: Vec<u8> = mem.read_bytes(Addr(BASE), LEN).unwrap();
+        let snap = mem.snapshot();
+        for (off, byte) in &writes {
+            let (off, _) = clamp(*off, 1);
+            mem.write_u8(Addr(BASE + off), byte.wrapping_add(1)).unwrap();
+        }
+        mem.restore(&snap);
+        prop_assert_eq!(mem.read_bytes(Addr(BASE), LEN).unwrap(), reference);
+    }
+}

@@ -1,0 +1,212 @@
+//! The allocator interposition point.
+//!
+//! First-Aid's memory allocator extension "relies on the underlying memory
+//! allocator for fulfilling memory management requests" (paper §3) and
+//! interposes on every allocation and deallocation to query the patch pool
+//! and apply environmental changes. [`AllocBackend`] is that seam: the
+//! process context routes every `malloc`/`free`/`realloc` and — standing in
+//! for Pin-style dynamic instrumentation — every load/store notification
+//! through it.
+
+use std::any::Any;
+
+use fa_heap::Heap;
+use fa_mem::{AccessKind, Addr, SimMemory};
+
+use crate::callsite::CallSite;
+use crate::clock::Clock;
+use crate::fault::Fault;
+
+/// An allocator implementation the process routes requests through.
+///
+/// Implementations must be deterministic given the same call sequence (the
+/// diagnosis engine relies on replay determinism) and cloneable so they can
+/// be captured in checkpoints. `Send` allows the validation engine to run
+/// re-executions on a separate thread (paper §5: validation happens "in
+/// parallel on a different processor core").
+pub trait AllocBackend: Send {
+    /// Allocates `req` bytes for the given allocation call-site.
+    ///
+    /// Implementations charge their own bookkeeping overhead to `clock` —
+    /// this is what the allocator-extension bars of paper Fig. 6 measure.
+    fn malloc(
+        &mut self,
+        mem: &mut SimMemory,
+        clock: &mut Clock,
+        req: u64,
+        site: CallSite,
+    ) -> Result<Addr, Fault>;
+
+    /// Frees the allocation at `addr` from the given deallocation
+    /// call-site.
+    fn free(
+        &mut self,
+        mem: &mut SimMemory,
+        clock: &mut Clock,
+        addr: Addr,
+        site: CallSite,
+    ) -> Result<(), Fault>;
+
+    /// Reallocates `addr` to `req` bytes.
+    fn realloc(
+        &mut self,
+        mem: &mut SimMemory,
+        clock: &mut Clock,
+        addr: Addr,
+        req: u64,
+        site: CallSite,
+    ) -> Result<Addr, Fault>;
+
+    /// Returns the usable size of the allocation at `addr`.
+    fn usable_size(&self, mem: &mut SimMemory, addr: Addr) -> Result<u64, Fault>;
+
+    /// Observes an application load/store before it is performed.
+    ///
+    /// This is the Pin-analog hook: the extension uses it to trace illegal
+    /// accesses (writes into padding, accesses to delay-freed objects,
+    /// reads before initialization). It must not alter the access, but may
+    /// charge classification overhead to `clock`.
+    fn observe_access(
+        &mut self,
+        clock: &mut Clock,
+        addr: Addr,
+        len: u64,
+        kind: AccessKind,
+        site: CallSite,
+    );
+
+    /// Returns the underlying heap.
+    fn heap(&self) -> &Heap;
+
+    /// Returns the underlying heap mutably.
+    fn heap_mut(&mut self) -> &mut Heap;
+
+    /// Clones the backend into a box (checkpoint support).
+    fn clone_box(&self) -> Box<dyn AllocBackend>;
+
+    /// Upcasts for concrete-type inspection by the diagnosis engine.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for concrete-type inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl Clone for Box<dyn AllocBackend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The unmodified underlying allocator: requests go straight to the heap.
+///
+/// This is what a process runs on before First-Aid is attached, and the
+/// baseline for the normal-run overhead experiments (paper Fig. 6,
+/// "original" bars).
+#[derive(Clone)]
+pub struct PlainAllocator {
+    heap: Heap,
+}
+
+impl PlainAllocator {
+    /// Wraps a heap.
+    pub fn new(heap: Heap) -> Self {
+        PlainAllocator { heap }
+    }
+}
+
+impl AllocBackend for PlainAllocator {
+    fn malloc(
+        &mut self,
+        mem: &mut SimMemory,
+        _clock: &mut Clock,
+        req: u64,
+        _site: CallSite,
+    ) -> Result<Addr, Fault> {
+        Ok(self.heap.malloc(mem, req)?)
+    }
+
+    fn free(
+        &mut self,
+        mem: &mut SimMemory,
+        _clock: &mut Clock,
+        addr: Addr,
+        _site: CallSite,
+    ) -> Result<(), Fault> {
+        Ok(self.heap.free(mem, addr)?)
+    }
+
+    fn realloc(
+        &mut self,
+        mem: &mut SimMemory,
+        _clock: &mut Clock,
+        addr: Addr,
+        req: u64,
+        _site: CallSite,
+    ) -> Result<Addr, Fault> {
+        Ok(self.heap.realloc(mem, addr, req)?)
+    }
+
+    fn usable_size(&self, mem: &mut SimMemory, addr: Addr) -> Result<u64, Fault> {
+        Ok(self.heap.usable_size(mem, addr)?)
+    }
+
+    fn observe_access(
+        &mut self,
+        _clock: &mut Clock,
+        _addr: Addr,
+        _len: u64,
+        _kind: AccessKind,
+        _site: CallSite,
+    ) {
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocBackend> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_allocator_roundtrip() {
+        let mut mem = SimMemory::new();
+        let heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
+        let mut alloc = PlainAllocator::new(heap);
+        let mut clock = Clock::new();
+        let site = CallSite::default();
+        let p = alloc.malloc(&mut mem, &mut clock, 100, site).unwrap();
+        assert!(alloc.usable_size(&mut mem, p).unwrap() >= 100);
+        alloc.free(&mut mem, &mut clock, p, site).unwrap();
+    }
+
+    #[test]
+    fn boxed_clone_is_independent() {
+        let mut mem = SimMemory::new();
+        let heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
+        let mut alloc: Box<dyn AllocBackend> = Box::new(PlainAllocator::new(heap));
+        let mut clock = Clock::new();
+        let site = CallSite::default();
+        let snapshot = alloc.clone();
+        let _p = alloc.malloc(&mut mem, &mut clock, 100, site).unwrap();
+        assert_eq!(snapshot.heap().stats().allocs, 0);
+        assert_eq!(alloc.heap().stats().allocs, 1);
+    }
+}

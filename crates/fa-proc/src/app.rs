@@ -1,0 +1,104 @@
+//! The application trait.
+
+use crate::ctx::ProcessCtx;
+use crate::fault::Fault;
+use crate::input::Input;
+
+/// The result of successfully handling one input.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Response {
+    /// Bytes delivered to the client, the unit of the throughput curves in
+    /// paper Fig. 4.
+    pub bytes_out: u64,
+}
+
+impl Response {
+    /// A response delivering `bytes_out` bytes.
+    pub fn bytes(bytes_out: u64) -> Response {
+        Response { bytes_out }
+    }
+
+    /// An empty acknowledgement.
+    pub fn ack() -> Response {
+        Response { bytes_out: 0 }
+    }
+}
+
+/// A deterministic simulated application.
+///
+/// Applications must be:
+///
+/// * **deterministic** — given the same context state and input sequence,
+///   behaviour is identical; this is what makes checkpoint/re-execution
+///   diagnosis sound (modulo the explicit [`ProcessCtx::timing`] hook);
+/// * **cloneable** — their in-host state is captured in checkpoints along
+///   with the simulated memory they point into.
+///
+/// Application state referencing simulated memory should store [`fa_mem::Addr`]
+/// values; those are plain numbers and survive snapshot/restore unchanged.
+/// `Send` allows validation re-executions on a separate thread.
+pub trait App: Send {
+    /// Returns the program name (the patch-pool key, paper §3 "Patch
+    /// management" keeps one pool per program).
+    fn name(&self) -> &'static str;
+
+    /// One-time startup (static allocations, config parsing).
+    fn init(&mut self, _ctx: &mut ProcessCtx) -> Result<(), Fault> {
+        Ok(())
+    }
+
+    /// Handles one input.
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault>;
+
+    /// Clones the application state into a box (checkpoint support).
+    fn clone_app(&self) -> Box<dyn App>;
+}
+
+/// A boxed application.
+pub type BoxedApp = Box<dyn App>;
+
+impl Clone for BoxedApp {
+    fn clone(&self) -> Self {
+        self.clone_app()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Echo {
+        handled: u64,
+    }
+
+    impl App for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+
+        fn handle(&mut self, _ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+            self.handled += 1;
+            Ok(Response::bytes(input.text.len() as u64))
+        }
+
+        fn clone_app(&self) -> BoxedApp {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut ctx = ProcessCtx::new(1 << 20);
+        let mut app: BoxedApp = Box::new(Echo { handled: 0 });
+        app.handle(&mut ctx, &Input::default()).unwrap();
+        let copy = app.clone();
+        app.handle(&mut ctx, &Input::default()).unwrap();
+        // The clone froze at 1 handled input.
+        let r = copy
+            .clone_app()
+            .handle(&mut ctx, &Input::default())
+            .unwrap();
+        assert_eq!(r, Response::bytes(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Process failures as seen by First-Aid's error monitors.
+
+use core::fmt;
+
+use fa_heap::HeapError;
+use fa_mem::MemFault;
+
+use crate::callsite::CallSite;
+
+/// A failure of the simulated process.
+///
+/// The paper's error monitors catch "assertion failures as well as
+/// exceptions (e.g., access violation) raised from the kernel" (§3). In
+/// this reproduction the same three classes exist: memory access
+/// violations, allocator aborts (glibc-style integrity checks), and
+/// application-level assertion failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Access violation — the SIGSEGV analog.
+    Mem(MemFault),
+    /// Allocator abort — corrupted metadata, invalid/double free.
+    Heap(HeapError),
+    /// Application assertion failure.
+    Assertion {
+        /// Human-readable description of the violated expectation.
+        msg: String,
+        /// Call-site where the assertion fired.
+        site: CallSite,
+    },
+}
+
+impl Fault {
+    /// Builds an assertion fault.
+    pub fn assertion(msg: impl Into<String>, site: CallSite) -> Fault {
+        Fault::Assertion {
+            msg: msg.into(),
+            site,
+        }
+    }
+
+    /// Returns a short stable label for the fault class, used in
+    /// diagnosis logs.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Fault::Mem(_) => "access-violation",
+            Fault::Heap(HeapError::InvalidFree { .. }) => "invalid-free",
+            Fault::Heap(HeapError::CorruptChunk { .. }) => "heap-corruption",
+            Fault::Heap(HeapError::OutOfMemory { .. }) => "out-of-memory",
+            Fault::Heap(HeapError::Mem(_)) => "access-violation",
+            Fault::Assertion { .. } => "assertion",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(e) => write!(f, "{e}"),
+            Fault::Heap(e) => write!(f, "{e}"),
+            Fault::Assertion { msg, .. } => write!(f, "assertion failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<MemFault> for Fault {
+    fn from(e: MemFault) -> Self {
+        Fault::Mem(e)
+    }
+}
+
+impl From<HeapError> for Fault {
+    fn from(e: HeapError) -> Self {
+        match e {
+            HeapError::Mem(m) => Fault::Mem(m),
+            other => Fault::Heap(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_heap::InvalidFreeKind;
+    use fa_mem::{AccessKind, Addr};
+
+    #[test]
+    fn classes_are_distinct() {
+        let m: Fault = MemFault::AccessViolation {
+            addr: Addr(1),
+            kind: AccessKind::Read,
+            len: 1,
+        }
+        .into();
+        assert_eq!(m.class(), "access-violation");
+        let h: Fault = HeapError::InvalidFree {
+            addr: Addr(1),
+            kind: InvalidFreeKind::DoubleFree,
+        }
+        .into();
+        assert_eq!(h.class(), "invalid-free");
+        let a = Fault::assertion("x", CallSite::default());
+        assert_eq!(a.class(), "assertion");
+    }
+
+    #[test]
+    fn heap_mem_fault_flattens() {
+        let f: Fault = HeapError::Mem(MemFault::NoSuchRegion).into();
+        assert!(matches!(f, Fault::Mem(_)));
+    }
+
+    #[test]
+    fn display_mentions_message() {
+        let a = Fault::assertion("cache magic mismatch", CallSite::default());
+        assert_eq!(a.to_string(), "assertion failed: cache magic mismatch");
+    }
+}

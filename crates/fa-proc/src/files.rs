@@ -1,0 +1,136 @@
+//! A tiny simulated file table.
+//!
+//! For rollback of file state, First-Aid "keep\[s\] a copy of each accessed
+//! file and file pointers at the beginning of each checkpoint and
+//! reinstat\[es\] it for rollback" (paper §3, following Discount Checking /
+//! Flashback). This module models exactly that: files are named byte
+//! vectors with positions, the whole table is cloned into checkpoints, and
+//! restoring a snapshot reinstates contents and file pointers.
+//!
+//! Contents are shared via [`Arc`] so snapshotting the table is cheap
+//! (copy-on-write on the first mutation of each file).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An open simulated file.
+#[derive(Clone, Debug, Default)]
+struct File {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+/// A named collection of simulated files with file pointers.
+#[derive(Clone, Debug, Default)]
+pub struct FileTable {
+    files: BTreeMap<String, File>,
+}
+
+impl FileTable {
+    /// Creates an empty file table.
+    pub fn new() -> Self {
+        FileTable::default()
+    }
+
+    /// Opens (creating if absent) a file and resets its position to zero.
+    pub fn open(&mut self, name: &str) {
+        let f = self.files.entry(name.to_owned()).or_default();
+        f.pos = 0;
+    }
+
+    /// Returns `true` if the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Appends `bytes` at the current position, overwriting any suffix.
+    pub fn write(&mut self, name: &str, bytes: &[u8]) {
+        let f = self.files.entry(name.to_owned()).or_default();
+        let data = Arc::make_mut(&mut f.data);
+        data.truncate(f.pos);
+        data.extend_from_slice(bytes);
+        f.pos = data.len();
+    }
+
+    /// Reads up to `len` bytes from the current position.
+    pub fn read(&mut self, name: &str, len: usize) -> Vec<u8> {
+        match self.files.get_mut(name) {
+            Some(f) => {
+                let end = (f.pos + len).min(f.data.len());
+                let out = f.data[f.pos..end].to_vec();
+                f.pos = end;
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Moves the file pointer.
+    pub fn seek(&mut self, name: &str, pos: usize) {
+        if let Some(f) = self.files.get_mut(name) {
+            f.pos = pos.min(f.data.len());
+        }
+    }
+
+    /// Returns the file length, or `None` if absent.
+    pub fn len(&self, name: &str) -> Option<usize> {
+        self.files.get(name).map(|f| f.data.len())
+    }
+
+    /// Returns `true` if no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Returns the full contents of a file, if present.
+    pub fn contents(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|f| f.data.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut ft = FileTable::new();
+        ft.open("log");
+        ft.write("log", b"hello ");
+        ft.write("log", b"world");
+        ft.seek("log", 0);
+        assert_eq!(ft.read("log", 64), b"hello world");
+    }
+
+    #[test]
+    fn snapshot_restores_contents_and_position() {
+        let mut ft = FileTable::new();
+        ft.open("db");
+        ft.write("db", b"v1");
+        let snap = ft.clone();
+        ft.write("db", b"-corrupted");
+        ft = snap;
+        assert_eq!(ft.contents("db").unwrap(), b"v1");
+        ft.write("db", b"!"); // position was after "v1"
+        assert_eq!(ft.contents("db").unwrap(), b"v1!");
+    }
+
+    #[test]
+    fn read_missing_file_is_empty() {
+        let mut ft = FileTable::new();
+        assert!(ft.read("nope", 10).is_empty());
+        assert!(!ft.exists("nope"));
+        assert!(ft.is_empty());
+    }
+
+    #[test]
+    fn write_truncates_suffix() {
+        let mut ft = FileTable::new();
+        ft.open("f");
+        ft.write("f", b"abcdef");
+        ft.seek("f", 3);
+        ft.write("f", b"XY");
+        assert_eq!(ft.contents("f").unwrap(), b"abcXY");
+        assert_eq!(ft.len("f"), Some(5));
+    }
+}

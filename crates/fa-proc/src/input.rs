@@ -1,0 +1,133 @@
+//! Application inputs and the replay log format.
+//!
+//! Inputs are the unit of both progress and replay: the network proxy of
+//! the original system records incoming messages during normal execution
+//! and replays them during re-execution (paper §3). Here an [`Input`] is a
+//! small structured record all applications share; each app interprets the
+//! fields its own way (a URL for Squid, a mail index for Pine, ...).
+
+use serde::{Deserialize, Serialize};
+
+/// One unit of application input (request, command, message).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Input {
+    /// Application-defined operation code.
+    pub op: u32,
+    /// First numeric argument.
+    pub a: u64,
+    /// Second numeric argument.
+    pub b: u64,
+    /// Textual payload (URL, macro body, expression, ...).
+    pub text: String,
+    /// Binary payload.
+    pub data: Vec<u8>,
+    /// Idle time before this input arrives, in virtual nanoseconds.
+    ///
+    /// Charged to the clock during *normal* execution only; diagnosis
+    /// re-executions replay inputs back-to-back, which is why recovery is
+    /// much faster than the original execution of the same region.
+    pub gap_ns: u64,
+    /// Harness-only marker: this input is expected to trigger the bug.
+    ///
+    /// Applications must not read this field; it exists so experiment
+    /// drivers can count triggers and verify prevention.
+    pub buggy: bool,
+}
+
+/// Fluent constructor for [`Input`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fa_proc::InputBuilder;
+///
+/// let req = InputBuilder::op(1).a(42).text("GET /index.html").gap_us(500).build();
+/// assert_eq!(req.a, 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InputBuilder {
+    input: Input,
+}
+
+impl InputBuilder {
+    /// Starts an input with the given op code.
+    pub fn op(op: u32) -> Self {
+        InputBuilder {
+            input: Input {
+                op,
+                ..Input::default()
+            },
+        }
+    }
+
+    /// Sets the first numeric argument.
+    pub fn a(mut self, a: u64) -> Self {
+        self.input.a = a;
+        self
+    }
+
+    /// Sets the second numeric argument.
+    pub fn b(mut self, b: u64) -> Self {
+        self.input.b = b;
+        self
+    }
+
+    /// Sets the textual payload.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.input.text = text.into();
+        self
+    }
+
+    /// Sets the binary payload.
+    pub fn data(mut self, data: Vec<u8>) -> Self {
+        self.input.data = data;
+        self
+    }
+
+    /// Sets the arrival gap in microseconds.
+    pub fn gap_us(mut self, us: u64) -> Self {
+        self.input.gap_ns = us * 1_000;
+        self
+    }
+
+    /// Marks the input as bug-triggering (harness bookkeeping only).
+    pub fn buggy(mut self) -> Self {
+        self.input.buggy = true;
+        self
+    }
+
+    /// Finishes the input.
+    pub fn build(self) -> Input {
+        self.input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let i = InputBuilder::op(7)
+            .a(1)
+            .b(2)
+            .text("x")
+            .data(vec![9])
+            .gap_us(3)
+            .buggy()
+            .build();
+        assert_eq!(i.op, 7);
+        assert_eq!((i.a, i.b), (1, 2));
+        assert_eq!(i.text, "x");
+        assert_eq!(i.data, vec![9]);
+        assert_eq!(i.gap_ns, 3_000);
+        assert!(i.buggy);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = InputBuilder::op(1).text("GET /").build();
+        let s = serde_json::to_string(&i).unwrap();
+        assert_eq!(serde_json::from_str::<Input>(&s).unwrap(), i);
+    }
+}

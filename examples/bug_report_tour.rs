@@ -1,0 +1,56 @@
+//! A tour of First-Aid's diagnostic outputs across all five bug types:
+//! runs each injected-bug case from the paper's Table 2 and prints the
+//! diagnosis summary and patch information of its bug report.
+//!
+//! Run with: `cargo run --release --example bug_report_tour`
+
+use fa_apps::{all_specs, WorkloadSpec};
+use first_aid::prelude::*;
+
+fn main() {
+    for spec in all_specs() {
+        let pool = PatchPool::in_memory();
+        let mut fa = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
+            .expect("launch");
+        let w = (spec.workload)(&WorkloadSpec::new(1_500, &[400]));
+        let summary = fa.run(w, None);
+
+        println!("==================================================================");
+        println!(
+            "{} {} — {} ({})",
+            spec.display, spec.version, spec.bug_desc, spec.description
+        );
+        println!("==================================================================");
+        let Some(rec) = fa.recoveries.first() else {
+            println!("no failure triggered\n");
+            continue;
+        };
+        let Some(diag) = rec.diagnosis.as_ref() else {
+            println!("recovery kind: {:?}\n", rec.kind);
+            continue;
+        };
+        println!(
+            "failures={} recovery={:.3}s rollbacks={} patches={} validated={}",
+            summary.failures,
+            rec.recovery_ns as f64 / 1e9,
+            diag.rollbacks,
+            rec.patches.len(),
+            rec.validation.as_ref().is_some_and(|v| v.consistent),
+        );
+        println!("--- diagnosis log ---");
+        for line in &diag.log {
+            println!("  {line}");
+        }
+        println!("--- patches ---");
+        for (i, p) in rec.patches.iter().enumerate() {
+            println!(
+                "  {}: {} for {} @ {}",
+                i + 1,
+                p.change.label(),
+                p.bug,
+                p.site_names.join(" <- ")
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: put a buggy application under First-Aid supervision and
+//! watch it survive, patch, and prevent a buffer overflow.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use first_aid::prelude::*;
+
+/// A miniature service with a length-miscalculation overflow: requests
+/// with op == 1 write 24 bytes past a 64-byte buffer, corrupting heap
+/// metadata, which eventually aborts the allocator.
+#[derive(Clone, Default)]
+struct TinyServer {
+    served: u64,
+}
+
+impl App for TinyServer {
+    fn name(&self) -> &'static str {
+        "tiny-server"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        ctx.call("handle_request", |ctx| {
+            ctx.call("render_response", |ctx| {
+                let buf = ctx.malloc(64)?;
+                // BUG: op 1 requests under-count the response length.
+                let len = if input.op == 1 { 88 } else { 64 };
+                ctx.fill(buf, len, b'+')?;
+                ctx.free(buf)?;
+                self.served += 1;
+                Ok(Response::bytes(64))
+            })
+        })
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+fn main() {
+    let pool = PatchPool::in_memory();
+    let mut fa = FirstAidRuntime::launch(
+        Box::new(TinyServer::default()),
+        FirstAidConfig::default(),
+        pool.clone(),
+    )
+    .expect("launch");
+
+    println!("Feeding 2000 requests; every 400th triggers the overflow bug...\n");
+    let mut failures = 0;
+    for i in 0..2000u32 {
+        let op = u32::from(i > 0 && i % 400 == 0);
+        let out = fa.feed(InputBuilder::op(op).gap_us(500).build());
+        if out.failed {
+            failures += 1;
+            println!("request {i}: FAILURE caught (trigger #{failures})");
+        }
+        if let Some(r) = out.recovery {
+            let rec = &fa.recoveries[r];
+            println!(
+                "  -> recovered in {:.3} virtual seconds ({:?})",
+                rec.recovery_ns as f64 / 1e9,
+                rec.kind
+            );
+            for p in &rec.patches {
+                println!(
+                    "  -> runtime patch: {} for {} at {}",
+                    p.change.label(),
+                    p.bug,
+                    p.site_names.join(" <- ")
+                );
+            }
+        }
+    }
+
+    println!("\nTotal failures over 4 bug triggers: {failures}");
+    println!("(the first trigger fails and is patched; the rest are neutralized)");
+    assert_eq!(failures, 1);
+    println!(
+        "\nPatches now in the pool for '{}': {}",
+        fa.program(),
+        pool.len(fa.program())
+    );
+    println!("A future run of this program would be protected from request 0.");
+}

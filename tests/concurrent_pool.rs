@@ -1,0 +1,88 @@
+//! Concurrent supervision: the patch pool is shared state between
+//! processes of the same program (paper §3, "Patch management" makes
+//! patches "available to all the processes that are running the same
+//! program"). Here two supervised processes run on separate OS threads
+//! against one pool; whichever hits the bug first publishes the patch and
+//! the totals show at most the early failures, never one per process per
+//! trigger.
+
+use std::sync::Arc;
+
+use fa_apps::{spec_by_key, WorkloadSpec};
+use first_aid::prelude::*;
+
+#[test]
+fn two_processes_share_learned_patches() {
+    let spec = Arc::new(spec_by_key("mutt").expect("mutt registered"));
+    let pool = PatchPool::in_memory();
+
+    // Process A learns the patch first (trigger early).
+    let a = {
+        let spec = Arc::clone(&spec);
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let mut fa =
+                FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
+                    .unwrap();
+            let w = (spec.workload)(&WorkloadSpec::new(900, &[200, 600]));
+            fa.run(w, None)
+        })
+    };
+    let summary_a = a.join().expect("thread A");
+    assert_eq!(summary_a.failures, 1, "A fails once and learns the patch");
+
+    // Processes B and C start *after* A's patch exists and run
+    // concurrently; both are protected from their first trigger on.
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let spec = Arc::clone(&spec);
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut fa =
+                    FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
+                        .unwrap();
+                let w = (spec.workload)(&WorkloadSpec::new(900, &[50, 400, 800]));
+                fa.run(w, None)
+            })
+        })
+        .collect();
+    for h in handles {
+        let summary = h.join().expect("worker thread");
+        assert_eq!(
+            summary.failures, 0,
+            "other processes inherit the patch immediately: {summary:?}"
+        );
+    }
+    assert_eq!(pool.len("mutt"), 1, "one shared patch, no duplicates");
+}
+
+#[test]
+fn validation_runs_on_a_parallel_thread() {
+    // Exercise ValidationEngine::validate_parallel end to end: recover
+    // synchronously, then re-validate the installed patches on a worker
+    // thread from the recovery checkpoint's snapshot.
+    use first_aid::core::ValidationEngine;
+
+    let spec = spec_by_key("squid").unwrap();
+    let pool = PatchPool::in_memory();
+    let mut fa =
+        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone())
+            .unwrap();
+    let w = (spec.workload)(&WorkloadSpec::new(900, &[400]));
+    let _ = fa.run(w, None);
+    let diagnosis = fa.recoveries[0].diagnosis.as_ref().unwrap();
+    let until = diagnosis.until_cursor;
+
+    // Re-validate on a thread using a fresh fork (the engine's parallel
+    // path); the patches must validate consistently there too.
+    let snap = fa.process().snapshot();
+    let patches = pool.get("squid");
+    let handle = ValidationEngine::new(3).validate_parallel(
+        fa.process(),
+        &snap,
+        &patches,
+        until.min(fa.process().cursor()),
+    );
+    let outcome = handle.join().expect("validation thread");
+    assert!(outcome.consistent, "{:?}", outcome.reason);
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests of the full First-Aid pipeline over the
+//! paper's application suite.
+
+use fa_apps::{all_specs, spec_by_key, WorkloadSpec};
+use first_aid::prelude::*;
+
+fn run_case(key: &str, triggers: &[usize]) -> (FirstAidRuntime, first_aid::core::runtime::RunSummary) {
+    let spec = spec_by_key(key).unwrap_or_else(|| panic!("{key} registered"));
+    let pool = PatchPool::in_memory();
+    let mut fa =
+        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
+    let w = (spec.workload)(&WorkloadSpec::new(1_500, triggers));
+    let summary = fa.run(w, None);
+    (fa, summary)
+}
+
+#[test]
+fn every_paper_app_survives_and_prevents() {
+    for spec in all_specs() {
+        let (fa, summary) = run_case(spec.key, &[400, 800, 1_100]);
+        assert_eq!(
+            summary.failures, 1,
+            "{}: only the first of three triggers may fail",
+            spec.key
+        );
+        assert_eq!(summary.dropped, 0, "{}: nothing dropped", spec.key);
+        let rec = &fa.recoveries[0];
+        let diag = rec.diagnosis.as_ref().unwrap_or_else(|| {
+            panic!("{}: diagnosis must complete", spec.key)
+        });
+        assert_eq!(
+            diag.bugs.len(),
+            1,
+            "{}: one bug type expected, got {:?}",
+            spec.key,
+            diag.bugs
+        );
+        assert_eq!(diag.bugs[0].bug, spec.expect_bug, "{}", spec.key);
+        assert_eq!(
+            rec.patches.len(),
+            spec.expect_sites,
+            "{}: expected {} patched call-sites (paper Table 3)",
+            spec.key,
+            spec.expect_sites
+        );
+        assert!(
+            rec.validation.as_ref().is_some_and(|v| v.consistent),
+            "{}: patches must validate",
+            spec.key
+        );
+    }
+}
+
+#[test]
+fn recovery_is_deterministic_across_runs() {
+    let (fa1, s1) = run_case("m4", &[400]);
+    let (fa2, s2) = run_case("m4", &[400]);
+    assert_eq!(s1.failures, s2.failures);
+    assert_eq!(s1.wall_ns, s2.wall_ns, "virtual time must be reproducible");
+    let d1 = fa1.recoveries[0].diagnosis.as_ref().unwrap();
+    let d2 = fa2.recoveries[0].diagnosis.as_ref().unwrap();
+    assert_eq!(d1.rollbacks, d2.rollbacks);
+    assert_eq!(d1.elapsed_ns, d2.elapsed_ns);
+    assert_eq!(
+        fa1.recoveries[0].patches, fa2.recoveries[0].patches,
+        "identical patches"
+    );
+}
+
+#[test]
+fn patch_pool_shared_across_processes_of_same_program() {
+    // Paper §2: patches apply to "other processes running the same
+    // executable". Process A learns the patch; process B, already
+    // running, picks it up on its next recovery-free execution... here B
+    // is launched after A's recovery and must be protected immediately.
+    let spec = spec_by_key("mutt").unwrap();
+    let pool = PatchPool::in_memory();
+    let mut a = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone())
+        .unwrap();
+    let w = (spec.workload)(&WorkloadSpec::new(900, &[400]));
+    let sa = a.run(w, None);
+    assert_eq!(sa.failures, 1);
+
+    let mut b = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
+    let w = (spec.workload)(&WorkloadSpec::new(900, &[100, 500]));
+    let sb = b.run(w, None);
+    assert_eq!(sb.failures, 0, "process B inherits process A's patch");
+}
+
+#[test]
+fn pools_do_not_mix_between_programs() {
+    // Paper §3: "First-Aid maintains a patch pool for each program so
+    // that the patches do not mix for different programs."
+    let pool = PatchPool::in_memory();
+    let (squid, pine) = (spec_by_key("squid").unwrap(), spec_by_key("pine").unwrap());
+    let mut fa = FirstAidRuntime::launch((squid.build)(), FirstAidConfig::default(), pool.clone())
+        .unwrap();
+    let _ = fa.run((squid.workload)(&WorkloadSpec::new(900, &[400])), None);
+    assert!(pool.len("squid") >= 1);
+    assert_eq!(pool.len("pine"), 0);
+    // Pine still fails on its own bug (squid's patch does not apply).
+    let mut fa = FirstAidRuntime::launch((pine.build)(), FirstAidConfig::default(), pool.clone())
+        .unwrap();
+    let s = fa.run((pine.workload)(&WorkloadSpec::new(900, &[400])), None);
+    assert_eq!(s.failures, 1);
+    assert!(pool.len("pine") >= 1);
+}
+
+#[test]
+fn bug_reports_name_the_culprit_code() {
+    let (fa, _) = run_case("apache", &[400]);
+    let report = fa.recoveries[0].report.as_ref().unwrap().to_string();
+    // The report must point developers at the LDAP cache purge path
+    // (paper Fig. 5).
+    assert!(report.contains("util_ald_free"), "{report}");
+    assert!(report.contains("util_ald_cache_purge"), "{report}");
+    assert!(report.contains("delay free"), "{report}");
+    assert!(
+        report.contains("util_ald_cache_fetch"),
+        "illegal-access trace names the reading function: {report}"
+    );
+}
+
+#[test]
+fn table3_claims_hold_for_bc_multi_site_overflow() {
+    // BC has two overflow bugs reached through three call-sites; one
+    // exposing run identifies all three (paper Table 3: add padding(3)).
+    let (fa, _) = run_case("bc", &[400]);
+    let rec = &fa.recoveries[0];
+    assert_eq!(rec.patches.len(), 3);
+    let names: Vec<&str> = rec
+        .patches
+        .iter()
+        .flat_map(|p| p.site_names.iter().map(String::as_str))
+        .collect();
+    assert!(names.contains(&"more_arrays"), "{names:?}");
+    assert!(names.contains(&"store_string"), "{names:?}");
+}
