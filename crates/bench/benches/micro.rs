@@ -131,8 +131,7 @@ fn bench_diagnosis(c: &mut Criterion) {
         b.iter(|| {
             let pool = PatchPool::in_memory();
             let mut fa =
-                FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
-                    .unwrap();
+                FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
             let w = (spec.workload)(&WorkloadSpec::new(900, &[400]));
             let summary = fa.run(w, None);
             assert_eq!(summary.failures, 1);

@@ -37,8 +37,7 @@ pub fn padding_sweep(pads: &[u64]) -> Vec<PaddingPoint> {
     pads.iter()
         .map(|&pad| {
             let pool = PatchPool::in_memory();
-            let mut fa =
-                FirstAidRuntime::launch((spec.build)(), paper_config(), pool).unwrap();
+            let mut fa = FirstAidRuntime::launch((spec.build)(), paper_config(), pool).unwrap();
             fa.with_ext(|ext| ext.set_padding(pad));
             let w = (spec.workload)(&WorkloadSpec::new(1_500, &[400, 800, 1_100]));
             let summary = fa.run(w, None);
@@ -131,7 +130,11 @@ pub fn interval_ablation() -> Vec<IntervalPoint> {
         let total = p.ctx.clock.now() - busy_start;
         let ckpt_cost = mgr.stats().total_cost_ns;
         IntervalPoint {
-            policy: if adaptive { "adaptive".into() } else { "fixed-200ms".into() },
+            policy: if adaptive {
+                "adaptive".into()
+            } else {
+                "fixed-200ms".into()
+            },
             overhead: ckpt_cost as f64 / (total - ckpt_cost).max(1) as f64,
             final_interval_ms: mgr.interval_ns() / 1_000_000,
         }
@@ -141,7 +144,8 @@ pub fn interval_ablation() -> Vec<IntervalPoint> {
 
 /// Renders all ablations as text.
 pub fn render() -> String {
-    let mut out = String::from("Ablation 1: padding size vs overflow prevention (Squid, 24-byte overflow)\n");
+    let mut out =
+        String::from("Ablation 1: padding size vs overflow prevention (Squid, 24-byte overflow)\n");
     out.push_str("  pad/side  failures (of 3 triggers)\n");
     for p in padding_sweep(&[8, 16, 64, 508]) {
         out.push_str(&format!("  {:<9} {}\n", p.pad, p.failures));

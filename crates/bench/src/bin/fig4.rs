@@ -1,10 +1,20 @@
 //! Regenerates paper Fig. 4 (throughput under repeated bug triggers:
-//! First-Aid vs Rx vs restart, Apache and Squid).
+//! First-Aid vs Rx vs restart, Apache and Squid). Also writes the raw
+//! series to `results/fig4.json`.
 
 use fa_apps::spec_by_key;
 use fa_bench::fig4;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    figures: Vec<fig4::Fig4>,
+}
 
 fn main() {
+    let mut results = Results {
+        figures: Vec::new(),
+    };
     for key in ["apache", "squid"] {
         let spec = spec_by_key(key).unwrap();
         let fig = fig4::run_app(&spec, 14_000, 2_500);
@@ -16,5 +26,16 @@ fn main() {
             }
             println!();
         }
+        results.figures.push(fig);
+    }
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => {
+            std::fs::create_dir_all("results").ok();
+            match std::fs::write("results/fig4.json", json) {
+                Ok(()) => println!("wrote results/fig4.json"),
+                Err(e) => eprintln!("failed to write results/fig4.json: {e}"),
+            }
+        }
+        Err(e) => eprintln!("failed to serialize results: {e}"),
     }
 }

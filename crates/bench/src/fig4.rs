@@ -8,9 +8,8 @@
 
 use fa_apps::{AppSpec, WorkloadSpec};
 use fa_checkpoint::AdaptiveConfig;
-use first_aid_core::{
-    FirstAidRuntime, PatchPool, RestartRuntime, RxRuntime, ThroughputSampler,
-};
+use first_aid_core::{FirstAidRuntime, PatchPool, RestartRuntime, RxRuntime, ThroughputSampler};
+use serde::Serialize;
 
 use crate::paper_config;
 
@@ -21,7 +20,7 @@ pub const RESTART_COST_NS: u64 = 1_500_000_000;
 pub const WINDOW_NS: u64 = 250_000_000;
 
 /// One system's throughput series.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Series {
     /// System name ("First-Aid", "Rx", "Restart").
     pub system: String,
@@ -49,7 +48,7 @@ impl Series {
 }
 
 /// The figure for one application: three series.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Fig4 {
     /// Application name.
     pub app: String,
@@ -86,8 +85,7 @@ pub fn run_app(spec: &AppSpec, n: usize, period: usize) -> Fig4 {
 
     let rx = {
         let mut sampler = ThroughputSampler::new(WINDOW_NS);
-        let mut rx =
-            RxRuntime::launch((spec.build)(), AdaptiveConfig::default(), 1 << 30).unwrap();
+        let mut rx = RxRuntime::launch((spec.build)(), AdaptiveConfig::default(), 1 << 30).unwrap();
         let summary = rx.run(workload.clone(), Some(&mut sampler));
         Series {
             system: "Rx".into(),

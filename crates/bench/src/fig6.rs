@@ -92,7 +92,10 @@ pub fn rows(scale: usize) -> Vec<Fig6Row> {
         let w = (spec.workload)(&WorkloadSpec::new(2_000 / scale, &[]));
         out.push(measure(spec.build, w, spec.display));
     }
-    for profile in spec_profiles().into_iter().chain(alloc_intensive_profiles()) {
+    for profile in spec_profiles()
+        .into_iter()
+        .chain(alloc_intensive_profiles())
+    {
         let w = fa_apps::synth::workload(&profile, 70_000 / scale);
         out.push(measure(
             move || Box::new(SynthApp::new(profile)),

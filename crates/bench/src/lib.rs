@@ -14,11 +14,13 @@
 //! | [`fig4`]   | Fig. 4 — throughput under repeated bug triggers |
 //! | [`fig5`]   | Fig. 5 — the Apache bug report |
 //! | [`fig6`]   | Fig. 6 — normal-execution time overhead |
+//! | [`fleet`]  | Fleet immunization — shared patch pool vs per-worker ablation |
 
 pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fleet;
 pub mod table2;
 pub mod table3;
 pub mod table4;

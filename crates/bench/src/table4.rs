@@ -48,11 +48,7 @@ pub fn run_app(spec: &AppSpec) -> Table4Row {
     let pool = PatchPool::in_memory();
     let mut fa = FirstAidRuntime::launch((spec.build)(), paper_config(), pool).unwrap();
     let _ = fa.run(workload.clone(), None);
-    let fa_sites = fa
-        .recoveries
-        .first()
-        .map(|r| r.patches.len())
-        .unwrap_or(0);
+    let fa_sites = fa.recoveries.first().map(|r| r.patches.len()).unwrap_or(0);
     let fa_objects = fa.with_ext(|ext| {
         let c = ext.counters();
         c.objects_padded + c.objects_delayed + c.objects_zero_filled

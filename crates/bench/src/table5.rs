@@ -7,7 +7,7 @@
 //! few objects whose call-sites match (paper §7.6.1).
 
 use fa_apps::{AppSpec, WorkloadSpec};
-use first_aid_core::{PatchPool, FirstAidRuntime, PreventiveChange};
+use first_aid_core::{FirstAidRuntime, PatchPool, PreventiveChange};
 
 use crate::paper_config;
 

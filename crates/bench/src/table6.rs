@@ -36,15 +36,13 @@ fn measure(app: BoxedApp, workload: Vec<Input>, name: &str) -> Table6Row {
         assert!(r.is_ok(), "{name}: overhead workloads must be failure-free");
     }
     let heap = p.ctx.alloc().heap().stats().heap_bytes as f64;
-    let meta = p
-        .ctx
-        .with_alloc_and_mem(|alloc, _| {
-            alloc
-                .as_any()
-                .downcast_ref::<ExtAllocator>()
-                .expect("ext installed")
-                .meta_bytes()
-        }) as f64;
+    let meta = p.ctx.with_alloc_and_mem(|alloc, _| {
+        alloc
+            .as_any()
+            .downcast_ref::<ExtAllocator>()
+            .expect("ext installed")
+            .meta_bytes()
+    }) as f64;
     Table6Row {
         name: name.to_owned(),
         original_mb: heap / 1048576.0,
@@ -62,13 +60,12 @@ pub fn rows(scale: usize) -> Vec<Table6Row> {
         let w = (spec.workload)(&WorkloadSpec::new(1_000 / scale, &[]));
         out.push(measure((spec.build)(), w, spec.display));
     }
-    for profile in spec_profiles().into_iter().chain(alloc_intensive_profiles()) {
+    for profile in spec_profiles()
+        .into_iter()
+        .chain(alloc_intensive_profiles())
+    {
         let w = fa_apps::synth::workload(&profile, 2_000 / scale);
-        out.push(measure(
-            Box::new(SynthApp::new(profile)),
-            w,
-            profile.name,
-        ));
+        out.push(measure(Box::new(SynthApp::new(profile)), w, profile.name));
     }
     out
 }

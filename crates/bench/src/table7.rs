@@ -33,7 +33,10 @@ fn measure(app: BoxedApp, workload: Vec<Input>, name: &str) -> Table7Row {
     mgr.force_checkpoint(&mut p);
     for input in workload {
         let r = p.feed(input);
-        assert!(r.is_ok(), "{name}: checkpoint workloads must be failure-free");
+        assert!(
+            r.is_ok(),
+            "{name}: checkpoint workloads must be failure-free"
+        );
         mgr.maybe_checkpoint(&mut p);
     }
     let stats: CheckpointStats = mgr.stats();
@@ -53,7 +56,10 @@ pub fn rows(scale: usize) -> Vec<Table7Row> {
         let w = (spec.workload)(&WorkloadSpec::new(2_400 / scale, &[]));
         out.push(measure((spec.build)(), w, spec.display));
     }
-    for profile in spec_profiles().into_iter().chain(alloc_intensive_profiles()) {
+    for profile in spec_profiles()
+        .into_iter()
+        .chain(alloc_intensive_profiles())
+    {
         let w = fa_apps::synth::workload(&profile, 70_000 / scale);
         out.push(measure(Box::new(SynthApp::new(profile)), w, profile.name));
     }

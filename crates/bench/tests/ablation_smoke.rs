@@ -37,17 +37,17 @@ fn tiny_quarantine_undermines_delay_free() {
         tiny.failures > 1,
         "a 512-byte quarantine must fail to protect: {tiny:?}"
     );
-    assert_eq!(
-        paper.failures, 1,
-        "the 1 MB threshold protects: {paper:?}"
-    );
+    assert_eq!(paper.failures, 1, "the 1 MB threshold protects: {paper:?}");
 }
 
 #[test]
 #[ignore = "slow sweep; run with --ignored"]
 fn adaptive_interval_bounds_checkpoint_overhead() {
     let points = ablation::interval_ablation();
-    let fixed = points.iter().find(|p| p.policy.starts_with("fixed")).unwrap();
+    let fixed = points
+        .iter()
+        .find(|p| p.policy.starts_with("fixed"))
+        .unwrap();
     let adaptive = points.iter().find(|p| p.policy == "adaptive").unwrap();
     assert!(
         adaptive.overhead < fixed.overhead,

@@ -142,11 +142,7 @@ impl DiagnosisEngine {
     /// # Panics
     ///
     /// Panics if the process has no pending failure.
-    pub fn diagnose(
-        &self,
-        process: &mut Process,
-        manager: &CheckpointManager,
-    ) -> DiagnosisOutcome {
+    pub fn diagnose(&self, process: &mut Process, manager: &CheckpointManager) -> DiagnosisOutcome {
         let failure = process
             .failure
             .clone()
@@ -168,7 +164,9 @@ impl DiagnosisEngine {
         // Phase 0: non-determinism probe at the latest checkpoint.
         // --------------------------------------------------------------
         let Some(newest) = manager.nth_newest(0) else {
-            ledger.log.push("no checkpoints retained; non-patchable".into());
+            ledger
+                .log
+                .push("no checkpoints retained; non-patchable".into());
             return DiagnosisOutcome::NonPatchable {
                 rollbacks: ledger.rollbacks,
                 elapsed_ns: ledger.elapsed_ns,
@@ -176,7 +174,15 @@ impl DiagnosisEngine {
             };
         };
         let newest_id = newest.id;
-        let r = self.run(process, manager, newest_id, ChangePlan::none(), false, 0xfa11, until);
+        let r = self.run(
+            process,
+            manager,
+            newest_id,
+            ChangePlan::none(),
+            false,
+            0xfa11,
+            until,
+        );
         ledger.charge(&r);
         if r.passed {
             ledger.log.push(
@@ -257,7 +263,11 @@ impl DiagnosisEngine {
             let manifested = Self::manifested(probe_bug, &r);
             ledger.log.push(format!(
                 "phase 2: probe {probe_bug}: {}",
-                if manifested { "manifested" } else { "ruled out" }
+                if manifested {
+                    "manifested"
+                } else {
+                    "ruled out"
+                }
             ));
             su.retain(|&b| b != probe_bug);
             if manifested {

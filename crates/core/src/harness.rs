@@ -303,7 +303,11 @@ mod tests {
                 integrity_check: false,
             },
         );
-        assert!(r.passed, "padding must absorb the overflow: {:?}", r.failure);
+        assert!(
+            r.passed,
+            "padding must absorb the overflow: {:?}",
+            r.failure
+        );
         assert!(!r.mark_corrupt());
         assert!(r.elapsed_ns > 0);
 

@@ -58,6 +58,7 @@
 pub mod baselines;
 pub mod diagnose;
 pub mod harness;
+pub mod log;
 pub mod metrics;
 pub mod patchpool;
 pub mod report;
@@ -70,7 +71,7 @@ pub use harness::{ReexecOptions, ReplayHarness, RunReport};
 pub use metrics::ThroughputSampler;
 pub use patchpool::PatchPool;
 pub use report::BugReport;
-pub use runtime::{FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryRecord};
+pub use runtime::{FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryRecord, RuntimeHealth};
 pub use validate::{ValidationEngine, ValidationOutcome};
 
 // Re-export the patch and bug-type vocabulary for downstream users.

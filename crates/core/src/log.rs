@@ -1,0 +1,113 @@
+//! Runtime diagnostics with a swappable sink.
+//!
+//! First-Aid emits a handful of operational warnings (damaged patch
+//! files, failed persistence). With one supervised process these used to
+//! go straight to stderr; a fleet of workers would interleave them
+//! mid-line, and tests could not observe them at all. Every diagnostic
+//! now goes through [`warn`], and the process-wide sink can be swapped:
+//! stderr (default), discard, or capture into a buffer that tests and
+//! the fleet supervisor drain via [`capture`] / [`Capture::drain`].
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Where diagnostics go.
+enum Sink {
+    /// Write each line to stderr (the default).
+    Stderr,
+    /// Drop diagnostics.
+    Discard,
+    /// Append lines to a shared buffer.
+    Capture(Capture),
+}
+
+/// A shared, drainable diagnostic buffer.
+#[derive(Clone, Default)]
+pub struct Capture {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Capture {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Capture {
+        Capture::default()
+    }
+
+    /// Takes all captured lines, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut self.lines.lock().unwrap())
+    }
+
+    /// Returns the number of captured lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// Returns `true` if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::Stderr))
+}
+
+/// Emits one diagnostic line (no trailing newline needed).
+pub fn warn(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    match &*sink().lock().unwrap() {
+        Sink::Stderr => eprintln!("first-aid: {line}"),
+        Sink::Discard => {}
+        Sink::Capture(capture) => {
+            capture.lines.lock().unwrap().push(line.to_owned());
+        }
+    }
+}
+
+/// Routes diagnostics to stderr (the default).
+pub fn use_stderr() {
+    *sink().lock().unwrap() = Sink::Stderr;
+}
+
+/// Silences diagnostics.
+pub fn use_discard() {
+    *sink().lock().unwrap() = Sink::Discard;
+}
+
+/// Routes diagnostics into a fresh capture buffer and returns it.
+///
+/// The sink is process-wide; tests that capture should restore
+/// [`use_stderr`] when done (see [`captured`] for a scoped helper).
+pub fn capture() -> Capture {
+    let cap = Capture::new();
+    *sink().lock().unwrap() = Sink::Capture(cap.clone());
+    cap
+}
+
+/// Runs `f` with diagnostics captured, restoring the stderr sink after.
+///
+/// Returns `f`'s result alongside the captured lines. Note the sink is
+/// process-global: concurrent tests capturing simultaneously will see
+/// each other's lines.
+pub fn captured<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    let cap = capture();
+    let result = f();
+    let lines = cap.drain();
+    use_stderr();
+    (result, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_and_drains() {
+        let ((), lines) = captured(|| {
+            warn("one");
+            warn(format!("two {}", 2));
+        });
+        assert_eq!(lines, vec!["one".to_string(), "two 2".to_string()]);
+    }
+}

@@ -37,12 +37,7 @@ impl ThroughputSampler {
         self.buckets
             .iter()
             .enumerate()
-            .map(|(i, &bytes)| {
-                (
-                    i as f64 * window_s,
-                    bytes as f64 / 1_048_576.0 / window_s,
-                )
-            })
+            .map(|(i, &bytes)| (i as f64 * window_s, bytes as f64 / 1_048_576.0 / window_s))
             .collect()
     }
 

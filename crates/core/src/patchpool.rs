@@ -6,18 +6,28 @@
 //! the patches do not mix for different programs." Patches are persisted
 //! per program executable so subsequent runs and *other processes of the
 //! same program* start protected.
+//!
+//! For fleet operation the pool carries a cheap change signal: a global
+//! atomic [`PatchPool::version`] plus a per-program [`PatchPool::epoch`],
+//! both bumped on every effective mutation. Idle workers poll the atomic
+//! (one relaxed load per input) and re-read their program's patch set
+//! only when it moved — no re-launch, no broadcast channel.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use fa_allocext::{Patch, PatchSet};
 
+use crate::log;
+
 #[derive(Default)]
 struct Pools {
     by_program: HashMap<String, Vec<Patch>>,
+    epoch_by_program: HashMap<String, u64>,
 }
 
 /// A shared, optionally persistent pool of runtime patches, keyed by
@@ -28,6 +38,11 @@ struct Pools {
 #[derive(Clone)]
 pub struct PatchPool {
     inner: Arc<Mutex<Pools>>,
+    /// Bumped on every effective `add`/`remove_site`, across all programs.
+    version: Arc<AtomicU64>,
+    /// Serializes persistence so concurrent writers cannot rename a stale
+    /// snapshot over a newer one.
+    io_lock: Arc<Mutex<()>>,
     dir: Option<PathBuf>,
 }
 
@@ -36,6 +51,8 @@ impl PatchPool {
     pub fn in_memory() -> PatchPool {
         PatchPool {
             inner: Arc::new(Mutex::new(Pools::default())),
+            version: Arc::new(AtomicU64::new(0)),
+            io_lock: Arc::new(Mutex::new(())),
             dir: None,
         }
     }
@@ -61,12 +78,14 @@ impl PatchPool {
                 }
                 Err(e) => {
                     // A damaged pool file must not brick the runtime.
-                    eprintln!("first-aid: ignoring damaged patch file {path:?}: {e}");
+                    log::warn(format!("ignoring damaged patch file {path:?}: {e}"));
                 }
             }
         }
         Ok(PatchPool {
             inner: Arc::new(Mutex::new(pools)),
+            version: Arc::new(AtomicU64::new(0)),
+            io_lock: Arc::new(Mutex::new(())),
             dir: Some(dir),
         })
     }
@@ -78,6 +97,36 @@ impl PatchPool {
             Some(patches) => PatchSet::from_patches(patches.iter().cloned()),
             None => PatchSet::new(),
         }
+    }
+
+    /// Returns the patch set and epoch for a program in one lock hold,
+    /// so a reader can never observe a set newer than its epoch.
+    pub fn get_with_epoch(&self, program: &str) -> (PatchSet, u64) {
+        let pools = self.inner.lock();
+        let set = match pools.by_program.get(program) {
+            Some(patches) => PatchSet::from_patches(patches.iter().cloned()),
+            None => PatchSet::new(),
+        };
+        let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
+        (set, epoch)
+    }
+
+    /// Returns the global mutation counter (any program).
+    ///
+    /// One relaxed atomic load — cheap enough to poll per input from
+    /// every fleet worker.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Returns the per-program mutation counter.
+    pub fn epoch(&self, program: &str) -> u64 {
+        self.inner
+            .lock()
+            .epoch_by_program
+            .get(program)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Returns the number of patches stored for a program.
@@ -98,14 +147,23 @@ impl PatchPool {
     pub fn add(&self, program: &str, patches: impl IntoIterator<Item = Patch>) {
         let mut pools = self.inner.lock();
         let list = pools.by_program.entry(program.to_owned()).or_default();
+        let mut changed = false;
         for p in patches {
             if !list.contains(&p) {
                 list.push(p);
+                changed = true;
             }
         }
-        let snapshot = list.clone();
+        if !changed {
+            return;
+        }
+        *pools
+            .epoch_by_program
+            .entry(program.to_owned())
+            .or_insert(0) += 1;
         drop(pools);
-        self.persist(program, &snapshot);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.persist(program);
     }
 
     /// Removes all patches at the given call-site (validation failure).
@@ -114,22 +172,56 @@ impl PatchPool {
         let Some(list) = pools.by_program.get_mut(program) else {
             return;
         };
+        let before = list.len();
         list.retain(|p| p.site != site);
-        let snapshot = list.clone();
+        if list.len() == before {
+            return;
+        }
+        *pools
+            .epoch_by_program
+            .entry(program.to_owned())
+            .or_insert(0) += 1;
         drop(pools);
-        self.persist(program, &snapshot);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.persist(program);
     }
 
-    fn persist(&self, program: &str, patches: &[Patch]) {
+    /// Persists atomically: write a temp file in the same directory, then
+    /// rename over the target, so a crash mid-write can never leave a
+    /// torn `*.patches.json` for the loader to discard.
+    ///
+    /// Takes the pool's IO lock and re-reads the current patch list under
+    /// it, so the file on disk always ends at the newest state even when
+    /// several workers persist concurrently.
+    fn persist(&self, program: &str) {
         let Some(dir) = &self.dir else { return };
+        let _io = self.io_lock.lock();
+        let snapshot = self
+            .inner
+            .lock()
+            .by_program
+            .get(program)
+            .cloned()
+            .unwrap_or_default();
         let path = dir.join(format!("{program}.patches.json"));
-        match serde_json::to_string_pretty(patches) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("first-aid: failed to persist patches to {path:?}: {e}");
-                }
+        let json = match serde_json::to_string_pretty(&snapshot) {
+            Ok(json) => json,
+            Err(e) => {
+                log::warn(format!("failed to serialize patches: {e}"));
+                return;
             }
-            Err(e) => eprintln!("first-aid: failed to serialize patches: {e}"),
+        };
+        let tmp = dir.join(format!(
+            ".{program}.patches.json.tmp-{}",
+            std::process::id()
+        ));
+        if let Err(e) = std::fs::write(&tmp, json) {
+            log::warn(format!("failed to persist patches to {tmp:?}: {e}"));
+            return;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            log::warn(format!("failed to move patches into {path:?}: {e}"));
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -151,8 +243,14 @@ mod tests {
         pool.add("squid", [patch(BugType::BufferOverflow, 2)]);
         assert_eq!(pool.len("apache"), 1);
         assert_eq!(pool.len("squid"), 1);
-        assert!(pool.get("apache").match_dealloc(CallSite([1, 0, 0])).is_some());
-        assert!(pool.get("apache").match_alloc(CallSite([2, 0, 0])).is_none());
+        assert!(pool
+            .get("apache")
+            .match_dealloc(CallSite([1, 0, 0]))
+            .is_some());
+        assert!(pool
+            .get("apache")
+            .match_alloc(CallSite([2, 0, 0]))
+            .is_none());
     }
 
     #[test]
@@ -176,10 +274,110 @@ mod tests {
         let pool = PatchPool::in_memory();
         pool.add(
             "bc",
-            [patch(BugType::BufferOverflow, 1), patch(BugType::BufferOverflow, 2)],
+            [
+                patch(BugType::BufferOverflow, 1),
+                patch(BugType::BufferOverflow, 2),
+            ],
         );
         pool.remove_site("bc", CallSite([1, 0, 0]));
         assert_eq!(pool.len("bc"), 1);
+    }
+
+    #[test]
+    fn version_and_epoch_track_effective_mutations() {
+        let pool = PatchPool::in_memory();
+        assert_eq!(pool.version(), 0);
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        assert_eq!(pool.version(), 1);
+        assert_eq!(pool.epoch("apache"), 1);
+        assert_eq!(pool.epoch("squid"), 0, "other programs unaffected");
+
+        // A duplicate add is not a mutation: no spurious re-reads.
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        assert_eq!(pool.version(), 1);
+        assert_eq!(pool.epoch("apache"), 1);
+
+        // Removing a missing site is not a mutation either.
+        pool.remove_site("apache", CallSite([99, 0, 0]));
+        assert_eq!(pool.version(), 1);
+
+        pool.remove_site("apache", CallSite([1, 0, 0]));
+        assert_eq!(pool.version(), 2);
+        assert_eq!(pool.epoch("apache"), 2);
+
+        let (set, epoch) = pool.get_with_epoch("apache");
+        assert!(set.is_empty());
+        assert_eq!(epoch, 2);
+    }
+
+    #[test]
+    fn concurrent_adds_and_gets_lose_nothing() {
+        // Seeds the fleet's sharing guarantee: many threads add distinct
+        // patches for one program while readers snapshot continuously;
+        // every patch must survive and every snapshot must be internally
+        // consistent (alloc/dealloc indexes agree with its patch list).
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 25;
+        let pool = PatchPool::in_memory();
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for k in 0..PER_WRITER {
+                        let id = 1 + w * PER_WRITER + k;
+                        let bug = if id.is_multiple_of(2) {
+                            BugType::BufferOverflow
+                        } else {
+                            BugType::DanglingRead
+                        };
+                        pool.add("apache", [patch(bug, id)]);
+                        // Duplicate adds from racing diagnoses must stay
+                        // idempotent under contention too.
+                        pool.add("apache", [patch(bug, id)]);
+                    }
+                })
+            })
+            .collect();
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    let mut last_len = 0;
+                    let mut last_epoch = 0;
+                    while last_len < (WRITERS * PER_WRITER) as usize {
+                        let (set, epoch) = pool.get_with_epoch("apache");
+                        // Sizes and epochs only grow (no lost updates).
+                        assert!(set.len() >= last_len, "snapshot shrank");
+                        assert!(epoch >= last_epoch, "epoch went backwards");
+                        // Internal consistency: every patch in the
+                        // snapshot is findable through its index.
+                        for p in set.patches() {
+                            let hit = if p.at_allocation() {
+                                set.match_alloc(p.site)
+                            } else {
+                                set.match_dealloc(p.site)
+                            };
+                            assert!(hit.is_some(), "snapshot lost its own patch");
+                        }
+                        last_len = set.len();
+                        last_epoch = epoch;
+                    }
+                })
+            })
+            .collect();
+
+        for t in writers {
+            t.join().unwrap();
+        }
+        for t in readers {
+            t.join().unwrap();
+        }
+
+        assert_eq!(pool.len("apache"), (WRITERS * PER_WRITER) as usize);
+        assert_eq!(pool.epoch("apache"), WRITERS * PER_WRITER);
+        assert_eq!(pool.version(), WRITERS * PER_WRITER);
     }
 
     #[test]
@@ -200,13 +398,33 @@ mod tests {
     }
 
     #[test]
-    fn damaged_pool_file_is_ignored() {
+    fn persist_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("fa-pool-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pool = PatchPool::persistent(&dir).unwrap();
+        for id in 1..=20 {
+            pool.add("mutt", [patch(BugType::BufferOverflow, id)]);
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["mutt.patches.json".to_string()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_pool_file_is_ignored_with_a_warning() {
         let dir = std::env::temp_dir().join(format!("fa-pool-dmg-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("mutt.patches.json"), b"{not json").unwrap();
-        let pool = PatchPool::persistent(&dir).unwrap();
+        let (pool, lines) = log::captured(|| PatchPool::persistent(&dir).unwrap());
         assert_eq!(pool.len("mutt"), 0);
+        assert!(
+            lines.iter().any(|l| l.contains("damaged patch file")),
+            "warning goes through the log facility: {lines:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -80,7 +80,7 @@ impl BugReport {
             patches: patches_with_counts,
             mm_diff: Self::mm_diff(&validation.unpatched_trace, &patched_trace),
             illegal_summary: Self::illegal_summary(&patched_trace, symbols),
-            }
+        }
     }
 
     /// Pairs the memory-management operations of the unpatched and patched
@@ -177,11 +177,7 @@ impl fmt::Display for BugReport {
         for line in &self.diagnosis_log {
             writeln!(f, "    | {line}")?;
         }
-        writeln!(
-            f,
-            "3. Patch applied: {} patch(es)",
-            self.patches.len()
-        )?;
+        writeln!(f, "3. Patch applied: {} patch(es)", self.patches.len())?;
         for (i, (patch, triggered)) in self.patches.iter().enumerate() {
             writeln!(
                 f,

@@ -110,6 +110,22 @@ pub struct RunSummary {
     pub bytes_delivered: u64,
 }
 
+/// A point-in-time health summary of one supervised runtime, cheap to
+/// read from a fleet supervisor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeHealth {
+    /// Total recoveries performed so far.
+    pub recoveries: usize,
+    /// Recoveries that ended with the input dropped (the degraded path).
+    pub dropped: usize,
+    /// Recoveries that installed patches.
+    pub patched: usize,
+    /// Inputs not yet consumed from the replay log.
+    pub backlog: usize,
+    /// Patch-pool epoch this runtime last synchronized to.
+    pub pool_epoch: u64,
+}
+
 /// The First-Aid supervisor.
 pub struct FirstAidRuntime {
     process: Process,
@@ -119,6 +135,11 @@ pub struct FirstAidRuntime {
     program: String,
     wall_ns: u64,
     last_proc_clock: u64,
+    /// Pool version (any program) observed at the last patch sync; lets
+    /// `refresh_patches` skip even the pool lock on the fast path.
+    pool_version_seen: u64,
+    /// Pool epoch for *this* program at the last patch sync.
+    pool_epoch_seen: u64,
     /// Input index of the most recent failure, for crash-loop detection.
     last_failure_index: Option<usize>,
     /// All recoveries performed, in order.
@@ -140,7 +161,8 @@ impl FirstAidRuntime {
         config.engine.integrity_check = config.integrity_check_every > 0;
         let program = app.name().to_owned();
         let mut ctx = ProcessCtx::new(config.heap_limit);
-        let patches = pool.get(&program);
+        let pool_version_seen = pool.version();
+        let (patches, pool_epoch_seen) = pool.get_with_epoch(&program);
         let quarantine = config.quarantine_bytes;
         ctx.swap_alloc(|old| {
             let mut ext = ExtAllocator::attach(old.heap().clone());
@@ -160,6 +182,8 @@ impl FirstAidRuntime {
             program,
             wall_ns: last_proc_clock,
             last_proc_clock,
+            pool_version_seen,
+            pool_epoch_seen,
             last_failure_index: None,
             recoveries: Vec::new(),
         })
@@ -194,6 +218,63 @@ impl FirstAidRuntime {
     /// Returns the shared patch pool.
     pub fn pool(&self) -> &PatchPool {
         &self.pool
+    }
+
+    /// Re-reads this program's patches from the pool and updates the
+    /// sync markers (single lock hold).
+    fn sync_pool_patches(&mut self) -> fa_allocext::PatchSet {
+        self.pool_version_seen = self.pool.version();
+        let (patches, epoch) = self.pool.get_with_epoch(&self.program);
+        self.pool_epoch_seen = epoch;
+        patches
+    }
+
+    /// Picks up patches other processes added to the shared pool since
+    /// this runtime last looked, without re-launching (paper §3: patches
+    /// are "available to all the processes that are running the same
+    /// program").
+    ///
+    /// The fast path is one atomic load, so fleet workers can call this
+    /// before every input. Returns `true` if new patches were installed.
+    pub fn refresh_patches(&mut self) -> bool {
+        if self.pool.version() == self.pool_version_seen {
+            return false;
+        }
+        let before = self.pool_epoch_seen;
+        let patches = self.sync_pool_patches();
+        if self.pool_epoch_seen == before {
+            // Another program's patches moved the global version; nothing
+            // to install here.
+            return false;
+        }
+        self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
+            expect_ext(alloc).set_normal(patches);
+        });
+        true
+    }
+
+    /// Returns the number of inputs enqueued but not yet consumed.
+    pub fn backlog(&self) -> usize {
+        self.process.pending()
+    }
+
+    /// Returns a point-in-time health summary (fleet supervision).
+    pub fn health(&self) -> RuntimeHealth {
+        RuntimeHealth {
+            recoveries: self.recoveries.len(),
+            dropped: self
+                .recoveries
+                .iter()
+                .filter(|r| r.kind == RecoveryKind::Dropped)
+                .count(),
+            patched: self
+                .recoveries
+                .iter()
+                .filter(|r| r.kind == RecoveryKind::Patched)
+                .count(),
+            backlog: self.process.pending(),
+            pool_epoch: self.pool_epoch_seen,
+        }
     }
 
     /// Runs a closure over the allocator extension (counters, tables).
@@ -276,9 +357,10 @@ impl FirstAidRuntime {
                     }
                     let every = self.config.integrity_check_every;
                     if every > 0 && summary.served % every == 0 {
-                        let verdict = self.process.ctx.with_alloc_and_mem(|alloc, mem| {
-                            alloc.heap().check_integrity(mem)
-                        });
+                        let verdict = self
+                            .process
+                            .ctx
+                            .with_alloc_and_mem(|alloc, mem| alloc.heap().check_integrity(mem));
                         if let Err(e) = verdict {
                             self.process.raise_failure(Fault::Heap(e));
                             summary.failures += 1;
@@ -370,9 +452,7 @@ impl FirstAidRuntime {
                     report: None,
                 }
             }
-            DiagnosisOutcome::NonPatchable {
-                elapsed_ns, ..
-            } => {
+            DiagnosisOutcome::NonPatchable { elapsed_ns, .. } => {
                 self.wall_ns += elapsed_ns;
                 // Fall back: roll back to the newest checkpoint, replay in
                 // normal mode up to the poisoned input, drop it.
@@ -382,7 +462,7 @@ impl FirstAidRuntime {
                     .expect("launch guarantees a checkpoint")
                     .id;
                 self.manager.rollback_to(&mut self.process, newest);
-                let patches = self.pool.get(&self.program);
+                let patches = self.sync_pool_patches();
                 self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
                     expect_ext(alloc).set_normal(patches);
                 });
@@ -412,7 +492,7 @@ impl FirstAidRuntime {
                 self.wall_ns += diagnosis.elapsed_ns;
                 let patches = diagnosis.patches(&self.process.ctx.symbols);
                 self.pool.add(&self.program, patches.iter().cloned());
-                let patchset = self.pool.get(&self.program);
+                let patchset = self.sync_pool_patches();
 
                 // Final recovery pass: back to the diagnosis checkpoint in
                 // normal mode with the patches installed; replay forward.
@@ -456,17 +536,12 @@ impl FirstAidRuntime {
                     match snap {
                         Some(snap) => {
                             let v = ValidationEngine::new(self.config.validation_iterations)
-                                .validate(
-                                    &self.process,
-                                    &snap,
-                                    &patchset,
-                                    diagnosis.until_cursor,
-                                );
+                                .validate(&self.process, &snap, &patchset, diagnosis.until_cursor);
                             if !v.consistent {
                                 for p in &patches {
                                     self.pool.remove_site(&self.program, p.site);
                                 }
-                                let reduced = self.pool.get(&self.program);
+                                let reduced = self.sync_pool_patches();
                                 self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
                                     expect_ext(alloc).set_normal(reduced);
                                 });

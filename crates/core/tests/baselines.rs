@@ -192,9 +192,12 @@ fn integrity_monitor_catches_corruption_early() {
     // horizon. That is exactly the "latent bug" case the paper admits it
     // cannot handle (§6): diagnosis gives up and the input is dropped.
     let pool = PatchPool::in_memory();
-    let mut without =
-        FirstAidRuntime::launch(Box::new(SilentCorruptor::default()), base.clone(), pool.clone())
-            .unwrap();
+    let mut without = FirstAidRuntime::launch(
+        Box::new(SilentCorruptor::default()),
+        base.clone(),
+        pool.clone(),
+    )
+    .unwrap();
     let _ = without.run(corruptor_workload(), None);
     let first = without.recoveries.first().expect("a failure occurred");
     assert_eq!(

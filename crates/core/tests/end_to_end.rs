@@ -313,8 +313,8 @@ impl App for DanglingWriteApp {
 #[test]
 fn dangling_write_diagnosed_patched_prevented() {
     let pool = PatchPool::in_memory();
-    let mut fa = FirstAidRuntime::launch(Box::new(DanglingWriteApp::default()), config(), pool)
-        .unwrap();
+    let mut fa =
+        FirstAidRuntime::launch(Box::new(DanglingWriteApp::default()), config(), pool).unwrap();
     let summary = fa.run(workload(80, &[30]), None);
     assert_eq!(summary.failures, 1);
     assert_eq!(summary.dropped, 0);
@@ -442,7 +442,11 @@ fn nondeterministic_failure_just_continues() {
         first_aid_core::runtime::RecoveryKind::NonDeterministic
     );
     assert!(fa.recoveries[0].patches.is_empty());
-    assert_eq!(pool.len("flaky-e2e"), 0, "no patch for nondeterministic bugs");
+    assert_eq!(
+        pool.len("flaky-e2e"),
+        0,
+        "no patch for nondeterministic bugs"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -78,8 +78,8 @@ impl App for TwoBugApp {
 #[test]
 fn both_bug_types_identified_and_patched() {
     let pool = PatchPool::in_memory();
-    let mut fa = FirstAidRuntime::launch(Box::new(TwoBugApp::default()), config(), pool.clone())
-        .unwrap();
+    let mut fa =
+        FirstAidRuntime::launch(Box::new(TwoBugApp::default()), config(), pool.clone()).unwrap();
     let w: Vec<Input> = (0..160)
         .map(|i| {
             InputBuilder::op(u32::from(i == 60 || i == 110))

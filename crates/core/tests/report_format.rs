@@ -107,5 +107,8 @@ fn json_report_round_trips_key_fields() {
     let patches = value["patches"].as_array().unwrap();
     assert_eq!(patches.len(), 1);
     assert_eq!(patches[0][0]["bug"], "DanglingRead");
-    assert!(patches[0][1].as_u64().unwrap() >= 1, "trigger count recorded");
+    assert!(
+        patches[0][1].as_u64().unwrap() >= 1,
+        "trigger count recorded"
+    );
 }

@@ -58,10 +58,14 @@ impl App for SemanticBugApp {
 #[test]
 fn semantic_bug_patch_is_rejected_by_randomized_validation() {
     let pool = PatchPool::in_memory();
-    let mut fa =
-        FirstAidRuntime::launch(Box::new(SemanticBugApp), config(), pool.clone()).unwrap();
+    let mut fa = FirstAidRuntime::launch(Box::new(SemanticBugApp), config(), pool.clone()).unwrap();
     let w: Vec<Input> = (0..80)
-        .map(|i| InputBuilder::op(u32::from(i == 40)).a(i).gap_us(100).build())
+        .map(|i| {
+            InputBuilder::op(u32::from(i == 40))
+                .a(i)
+                .gap_us(100)
+                .build()
+        })
         .collect();
     let _ = fa.run(w, None);
 
@@ -82,8 +86,9 @@ fn semantic_bug_patch_is_rejected_by_randomized_validation() {
         v.reason
     );
     assert!(
-        v.reason.as_deref().is_some_and(|r| r.contains("criterion")
-            || r.contains("failed under randomization")),
+        v.reason
+            .as_deref()
+            .is_some_and(|r| r.contains("criterion") || r.contains("failed under randomization")),
         "reason names the violated criterion: {:?}",
         v.reason
     );
@@ -128,7 +133,12 @@ fn real_overflow_patch_survives_randomized_validation() {
     let mut fa =
         FirstAidRuntime::launch(Box::new(RealOverflowApp), config(), pool.clone()).unwrap();
     let w: Vec<Input> = (0..80)
-        .map(|i| InputBuilder::op(u32::from(i == 40)).a(i).gap_us(100).build())
+        .map(|i| {
+            InputBuilder::op(u32::from(i == 40))
+                .a(i)
+                .gap_us(100)
+                .build()
+        })
         .collect();
     let summary = fa.run(w, None);
     assert_eq!(summary.failures, 1);

@@ -410,7 +410,11 @@ impl AllocBackend for ExtAllocator {
         }
         self.note_alloc_site(site);
         let (pad, pad_canary, fill, patch_idx) = self.alloc_changes(site);
-        let (left, right) = if pad { (self.pad_each, self.pad_each) } else { (0, 0) };
+        let (left, right) = if pad {
+            (self.pad_each, self.pad_each)
+        } else {
+            (0, 0)
+        };
         let outer = self.heap.malloc(mem, left + req + right)?;
         let user = outer.offset(left);
         let heap_usable = self.heap.usable_size(mem, outer)?;
@@ -606,7 +610,11 @@ impl AllocBackend for ExtAllocator {
             if p.canary {
                 if let Some((off, _)) = check_canary(mem, outer, p.left)? {
                     self.manifests.push(Manifestation::PaddingCorrupt {
-                        alloc_site: self.table.get_by_user(addr).map(|o| o.alloc_site).unwrap_or_default(),
+                        alloc_site: self
+                            .table
+                            .get_by_user(addr)
+                            .map(|o| o.alloc_site)
+                            .unwrap_or_default(),
                         user,
                         right_side: false,
                         offset: off,
@@ -614,7 +622,11 @@ impl AllocBackend for ExtAllocator {
                 }
                 if let Some((off, _)) = check_canary(mem, user.offset(size), p.right)? {
                     self.manifests.push(Manifestation::PaddingCorrupt {
-                        alloc_site: self.table.get_by_user(addr).map(|o| o.alloc_site).unwrap_or_default(),
+                        alloc_site: self
+                            .table
+                            .get_by_user(addr)
+                            .map(|o| o.alloc_site)
+                            .unwrap_or_default(),
                         user,
                         right_side: true,
                         offset: off,
@@ -734,8 +746,7 @@ impl AllocBackend for ExtAllocator {
                                     // uninitialized read, neutralized when
                                     // the object was zero-filled.
                                     let patch = info.zero_filled.then_some(0usize);
-                                    illegal =
-                                        Some((IllegalKind::UninitRead, info.seq, off, patch));
+                                    illegal = Some((IllegalKind::UninitRead, info.seq, off, patch));
                                     // Report each uninit read once.
                                     if let Some(w) = info.written.as_mut() {
                                         w.insert(off, end_off);
@@ -1126,10 +1137,7 @@ mod tests {
             ext.free(&mut mem, &mut clock, p, site(s + 10)).unwrap();
         }
         assert_eq!(ext.alloc_sites_seen(), &[site(1), site(2), site(3)]);
-        assert_eq!(
-            ext.dealloc_sites_seen(),
-            &[site(11), site(12), site(13)]
-        );
+        assert_eq!(ext.dealloc_sites_seen(), &[site(11), site(12), site(13)]);
     }
 
     #[test]
@@ -1145,10 +1153,9 @@ mod tests {
         ext.observe_access(&mut clock, a.offset(70), 8, AccessKind::Write, site(5));
         mem.write_u64(a.offset(70), 1).unwrap();
         let trace = ext.trace();
-        assert!(trace.iter().any(|e| matches!(
-            e,
-            TraceEvent::Alloc { patch: Some(0), .. }
-        )));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Alloc { patch: Some(0), .. })));
         assert!(trace.iter().any(|e| matches!(
             e,
             TraceEvent::Illegal {
@@ -1237,7 +1244,9 @@ mod tests {
         ext.set_diagnostic(ChangePlan::all_preventive());
         let p = ext.malloc(&mut mem, &mut clock, 32, site(1)).unwrap();
         ext.free(&mut mem, &mut clock, p, site(2)).unwrap();
-        let err = ext.realloc(&mut mem, &mut clock, p, 64, site(1)).unwrap_err();
+        let err = ext
+            .realloc(&mut mem, &mut clock, p, 64, site(1))
+            .unwrap_err();
         assert!(matches!(err, Fault::Heap(_)), "{err}");
     }
 

@@ -210,9 +210,15 @@ mod tests {
         let dangling = Patch::new(BugType::DanglingRead, site(2), &symbols);
         let set = PatchSet::from_patches([overflow, dangling]);
         assert!(set.match_alloc(site(1)).is_some());
-        assert!(set.match_dealloc(site(1)).is_none(), "padding is alloc-side");
+        assert!(
+            set.match_dealloc(site(1)).is_none(),
+            "padding is alloc-side"
+        );
         assert!(set.match_dealloc(site(2)).is_some());
-        assert!(set.match_alloc(site(2)).is_none(), "delay free is dealloc-side");
+        assert!(
+            set.match_alloc(site(2)).is_none(),
+            "delay free is dealloc-side"
+        );
         assert!(set.match_alloc(site(9)).is_none());
     }
 

@@ -28,13 +28,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn plan_strategy() -> impl Strategy<Value = ChangePlan> {
-    let mode = || {
-        prop_oneof![
-            Just(Mode::Off),
-            Just(Mode::Prevent),
-            Just(Mode::Expose),
-        ]
-    };
+    let mode = || prop_oneof![Just(Mode::Off), Just(Mode::Prevent), Just(Mode::Expose),];
     (mode(), mode(), mode(), mode(), mode()).prop_map(
         |(overflow, dangling_read, dangling_write, double_free, uninit_read)| ChangePlan {
             overflow,

@@ -325,7 +325,11 @@ fn workload_with(trigger_op: u32, spec: &WorkloadSpec) -> Vec<Input> {
     (0..spec.n)
         .map(|i| {
             if spec.triggers.contains(&i) {
-                return InputBuilder::op(trigger_op).a(9).gap_us(2_000).buggy().build();
+                return InputBuilder::op(trigger_op)
+                    .a(9)
+                    .gap_us(2_000)
+                    .buggy()
+                    .build();
             }
             if rng.random_ratio(2, 5) {
                 // Keys drawn fresh after purges so re-inserts reuse chunks.

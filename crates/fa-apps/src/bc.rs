@@ -77,10 +77,8 @@ impl Bc {
         ctx.call("run_program", |ctx| {
             // Two distinct call paths into the buggy growth routine, plus
             // the string-store overflow: three overflowing call-sites.
-            let arrays =
-                ctx.call("lookup_array", |ctx| Bc::more_storage(ctx, 32))?;
-            let vars =
-                ctx.call("lookup_variable", |ctx| Bc::more_storage(ctx, 24))?;
+            let arrays = ctx.call("lookup_array", |ctx| Bc::more_storage(ctx, 32))?;
+            let vars = ctx.call("lookup_variable", |ctx| Bc::more_storage(ctx, 24))?;
             Bc::store_string(ctx, 40)?;
             // Normal bookkeeping continues; the trampled boundary tags are
             // discovered by the allocator shortly after.
@@ -185,9 +183,6 @@ mod tests {
             }
         }
         assert_eq!(failed_at, Some(30));
-        assert_eq!(
-            p.failure.as_ref().unwrap().fault.class(),
-            "heap-corruption"
-        );
+        assert_eq!(p.failure.as_ref().unwrap().fault.class(), "heap-corruption");
     }
 }

@@ -113,7 +113,10 @@ pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
     (0..spec.n)
         .map(|i| {
             if spec.triggers.contains(&i) {
-                return InputBuilder::op(ops::MALFORMED).gap_us(2_500).buggy().build();
+                return InputBuilder::op(ops::MALFORMED)
+                    .gap_us(2_500)
+                    .buggy()
+                    .build();
             }
             if rng.random_ratio(1, 4) {
                 InputBuilder::op(ops::COMMIT)
@@ -171,7 +174,10 @@ mod tests {
     fn commit_grows_repository_file() {
         let mut p = launch();
         let before = p.ctx.files.len(&Cvs::file_name(1)).unwrap();
-        let input = InputBuilder::op(ops::COMMIT).a(1).data(vec![1; 100]).build();
+        let input = InputBuilder::op(ops::COMMIT)
+            .a(1)
+            .data(vec![1; 100])
+            .build();
         assert!(p.feed(input).is_ok());
         assert_eq!(p.ctx.files.len(&Cvs::file_name(1)).unwrap(), before + 100);
     }

@@ -23,6 +23,7 @@
 pub mod apache;
 pub mod bc;
 pub mod cvs;
+pub mod fleet;
 pub mod m4;
 pub mod mutt;
 pub mod pine;

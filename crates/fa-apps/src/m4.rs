@@ -107,8 +107,9 @@ impl App for M4 {
         // Pending (dangling) expansions resume first.
         let due: Vec<MacroDef> = {
             let now = self.req_counter;
-            let (ready, rest): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.pending).into_iter().partition(|(_, t)| now >= *t);
+            let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+                .into_iter()
+                .partition(|(_, t)| now >= *t);
             self.pending = rest;
             ready.into_iter().map(|(d, _)| d).collect()
         };
@@ -158,7 +159,10 @@ pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
     (0..spec.n)
         .map(|i| {
             if spec.triggers.contains(&i) {
-                return InputBuilder::op(ops::SELF_UNDEF).gap_us(1_000).buggy().build();
+                return InputBuilder::op(ops::SELF_UNDEF)
+                    .gap_us(1_000)
+                    .buggy()
+                    .build();
             }
             if rng.random_ratio(1, 4) {
                 // Defines use slots 2.. so the init macros survive.

@@ -30,9 +30,7 @@ impl Mutt {
     /// Modified-UTF-7 worst case: each non-ASCII byte expands to ~4 output
     /// bytes (base64 of UTF-16 plus shifts).
     fn utf7_len(name: &[u8]) -> u64 {
-        name.iter()
-            .map(|&b| if b >= 0x80 { 4u64 } else { 1 })
-            .sum()
+        name.iter().map(|&b| if b >= 0x80 { 4u64 } else { 1 }).sum()
     }
 
     fn fetch(ctx: &mut ProcessCtx, size: u64) -> Result<Response, Fault> {

@@ -93,7 +93,10 @@ mod tests {
                 "apache-dpw"
             ]
         );
-        assert_eq!(spec_by_key("squid").unwrap().expect_bug, BugType::BufferOverflow);
+        assert_eq!(
+            spec_by_key("squid").unwrap().expect_bug,
+            BugType::BufferOverflow
+        );
         assert_eq!(spec_by_key("cvs").unwrap().expect_bug, BugType::DoubleFree);
         assert!(spec_by_key("nonesuch").is_none());
     }

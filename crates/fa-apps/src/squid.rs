@@ -95,7 +95,11 @@ pub fn workload(spec: &WorkloadSpec) -> Vec<Input> {
             if spec.triggers.contains(&i) {
                 // 24 tildes: 24 bytes of overflow past the estimate.
                 let host = format!("{}.example.org", "~".repeat(24));
-                return InputBuilder::op(ops::FTP).text(host).gap_us(1_500).buggy().build();
+                return InputBuilder::op(ops::FTP)
+                    .text(host)
+                    .gap_us(1_500)
+                    .buggy()
+                    .build();
             }
             if rng.random_ratio(1, 10) {
                 InputBuilder::op(ops::FTP)
@@ -160,10 +164,7 @@ mod tests {
             }
         }
         assert_eq!(failed_at, Some(50), "short error propagation distance");
-        assert_eq!(
-            p.failure.as_ref().unwrap().fault.class(),
-            "heap-corruption"
-        );
+        assert_eq!(p.failure.as_ref().unwrap().fault.class(), "heap-corruption");
     }
 
     #[test]

@@ -71,17 +71,138 @@ const BASE_BLOCK: u64 = 1 << 20;
 pub fn spec_profiles() -> Vec<SynthProfile> {
     use Suite::Spec;
     vec![
-        SynthProfile { name: "164.gzip", suite: Spec, base_mb: 178, live_objects: 800, obj_size: (256, 4096), churn: 2, advance_bytes: 1_324, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
-        SynthProfile { name: "175.vpr", suite: Spec, base_mb: 19, live_objects: 15_000, obj_size: (32, 128), churn: 4, advance_bytes: 394, compute_ns: 50_000, gap_us: 0, window_mb: 2 },
-        SynthProfile { name: "176.gcc", suite: Spec, base_mb: 80, live_objects: 30_000, obj_size: (64, 512), churn: 5, advance_bytes: 1_400, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
-        SynthProfile { name: "181.mcf", suite: Spec, base_mb: 94, live_objects: 500, obj_size: (1024, 8192), churn: 1, advance_bytes: 2_724, compute_ns: 50_000, gap_us: 0, window_mb: 10 },
-        SynthProfile { name: "186.crafty", suite: Spec, base_mb: 1, live_objects: 1_200, obj_size: (64, 256), churn: 1, advance_bytes: 264, compute_ns: 50_000, gap_us: 0, window_mb: 1 },
-        SynthProfile { name: "197.parser", suite: Spec, base_mb: 29, live_objects: 25_000, obj_size: (32, 256), churn: 10, advance_bytes: 3_363, compute_ns: 50_000, gap_us: 0, window_mb: 11 },
-        SynthProfile { name: "252.eon", suite: Spec, base_mb: 1, live_objects: 2_000, obj_size: (32, 128), churn: 3, advance_bytes: 16, compute_ns: 50_000, gap_us: 0, window_mb: 1 },
-        SynthProfile { name: "253.perlbmk", suite: Spec, base_mb: 52, live_objects: 60_000, obj_size: (64, 512), churn: 4, advance_bytes: 1_441, compute_ns: 50_000, gap_us: 0, window_mb: 5 },
-        SynthProfile { name: "255.vortex", suite: Spec, base_mb: 100, live_objects: 25_000, obj_size: (128, 1024), churn: 6, advance_bytes: 10_300, compute_ns: 50_000, gap_us: 0, window_mb: 33 },
-        SynthProfile { name: "256.bzip2", suite: Spec, base_mb: 183, live_objects: 150, obj_size: (8192, 65_536), churn: 1, advance_bytes: 4_520, compute_ns: 50_000, gap_us: 0, window_mb: 16 },
-        SynthProfile { name: "300.twolf", suite: Spec, base_mb: 1, live_objects: 60_000, obj_size: (16, 48), churn: 10, advance_bytes: 490, compute_ns: 50_000, gap_us: 0, window_mb: 2 },
+        SynthProfile {
+            name: "164.gzip",
+            suite: Spec,
+            base_mb: 178,
+            live_objects: 800,
+            obj_size: (256, 4096),
+            churn: 2,
+            advance_bytes: 1_324,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 5,
+        },
+        SynthProfile {
+            name: "175.vpr",
+            suite: Spec,
+            base_mb: 19,
+            live_objects: 15_000,
+            obj_size: (32, 128),
+            churn: 4,
+            advance_bytes: 394,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 2,
+        },
+        SynthProfile {
+            name: "176.gcc",
+            suite: Spec,
+            base_mb: 80,
+            live_objects: 30_000,
+            obj_size: (64, 512),
+            churn: 5,
+            advance_bytes: 1_400,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 5,
+        },
+        SynthProfile {
+            name: "181.mcf",
+            suite: Spec,
+            base_mb: 94,
+            live_objects: 500,
+            obj_size: (1024, 8192),
+            churn: 1,
+            advance_bytes: 2_724,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 10,
+        },
+        SynthProfile {
+            name: "186.crafty",
+            suite: Spec,
+            base_mb: 1,
+            live_objects: 1_200,
+            obj_size: (64, 256),
+            churn: 1,
+            advance_bytes: 264,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
+        SynthProfile {
+            name: "197.parser",
+            suite: Spec,
+            base_mb: 29,
+            live_objects: 25_000,
+            obj_size: (32, 256),
+            churn: 10,
+            advance_bytes: 3_363,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 11,
+        },
+        SynthProfile {
+            name: "252.eon",
+            suite: Spec,
+            base_mb: 1,
+            live_objects: 2_000,
+            obj_size: (32, 128),
+            churn: 3,
+            advance_bytes: 16,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
+        SynthProfile {
+            name: "253.perlbmk",
+            suite: Spec,
+            base_mb: 52,
+            live_objects: 60_000,
+            obj_size: (64, 512),
+            churn: 4,
+            advance_bytes: 1_441,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 5,
+        },
+        SynthProfile {
+            name: "255.vortex",
+            suite: Spec,
+            base_mb: 100,
+            live_objects: 25_000,
+            obj_size: (128, 1024),
+            churn: 6,
+            advance_bytes: 10_300,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 33,
+        },
+        SynthProfile {
+            name: "256.bzip2",
+            suite: Spec,
+            base_mb: 183,
+            live_objects: 150,
+            obj_size: (8192, 65_536),
+            churn: 1,
+            advance_bytes: 4_520,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 16,
+        },
+        SynthProfile {
+            name: "300.twolf",
+            suite: Spec,
+            base_mb: 1,
+            live_objects: 60_000,
+            obj_size: (16, 48),
+            churn: 10,
+            advance_bytes: 490,
+            compute_ns: 50_000,
+            gap_us: 0,
+            window_mb: 2,
+        },
     ]
 }
 
@@ -92,10 +213,54 @@ pub fn spec_profiles() -> Vec<SynthProfile> {
 pub fn alloc_intensive_profiles() -> Vec<SynthProfile> {
     use Suite::AllocIntensive;
     vec![
-        SynthProfile { name: "cfrac", suite: AllocIntensive, base_mb: 0, live_objects: 9_000, obj_size: (8, 40), churn: 40, advance_bytes: 0, compute_ns: 12_000, gap_us: 0, window_mb: 1 },
-        SynthProfile { name: "espresso", suite: AllocIntensive, base_mb: 0, live_objects: 4_500, obj_size: (16, 128), churn: 30, advance_bytes: 0, compute_ns: 15_000, gap_us: 0, window_mb: 1 },
-        SynthProfile { name: "lindsay", suite: AllocIntensive, base_mb: 1, live_objects: 250, obj_size: (64, 512), churn: 6, advance_bytes: 64, compute_ns: 20_000, gap_us: 0, window_mb: 1 },
-        SynthProfile { name: "p2c", suite: AllocIntensive, base_mb: 0, live_objects: 12_000, obj_size: (8, 48), churn: 20, advance_bytes: 0, compute_ns: 10_000, gap_us: 0, window_mb: 1 },
+        SynthProfile {
+            name: "cfrac",
+            suite: AllocIntensive,
+            base_mb: 0,
+            live_objects: 9_000,
+            obj_size: (8, 40),
+            churn: 40,
+            advance_bytes: 0,
+            compute_ns: 12_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
+        SynthProfile {
+            name: "espresso",
+            suite: AllocIntensive,
+            base_mb: 0,
+            live_objects: 4_500,
+            obj_size: (16, 128),
+            churn: 30,
+            advance_bytes: 0,
+            compute_ns: 15_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
+        SynthProfile {
+            name: "lindsay",
+            suite: AllocIntensive,
+            base_mb: 1,
+            live_objects: 250,
+            obj_size: (64, 512),
+            churn: 6,
+            advance_bytes: 64,
+            compute_ns: 20_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
+        SynthProfile {
+            name: "p2c",
+            suite: AllocIntensive,
+            base_mb: 0,
+            live_objects: 12_000,
+            obj_size: (8, 48),
+            churn: 20,
+            advance_bytes: 0,
+            compute_ns: 10_000,
+            gap_us: 0,
+            window_mb: 1,
+        },
     ]
 }
 

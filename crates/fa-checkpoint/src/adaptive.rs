@@ -28,11 +28,11 @@ pub struct AdaptiveConfig {
 impl Default for AdaptiveConfig {
     fn default() -> Self {
         AdaptiveConfig {
-            base_interval_ns: 200_000_000,       // 200 ms
-            max_interval_ns: 3_200_000_000,      // 3.2 s
-            overhead_target: 0.05,               // 5 %
+            base_interval_ns: 200_000_000,  // 200 ms
+            max_interval_ns: 3_200_000_000, // 3.2 s
+            overhead_target: 0.05,          // 5 %
             page_copy_ns: 10_000,
-            checkpoint_base_ns: 60_000,          // fork-like operation
+            checkpoint_base_ns: 60_000, // fork-like operation
         }
     }
 }

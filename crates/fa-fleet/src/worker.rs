@@ -1,0 +1,151 @@
+//! The per-worker loop: one supervised process draining its job queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use fa_proc::Input;
+use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
+
+use crate::metrics::WorkerReport;
+use crate::supervisor::BackoffConfig;
+
+/// Everything a worker thread needs, moved into it at spawn.
+pub(crate) struct WorkerParams {
+    pub id: usize,
+    pub factory: crate::supervisor::AppFactory,
+    pub runtime: FirstAidConfig,
+    pub pool: PatchPool,
+    pub window_ns: u64,
+    pub recovery_budget: usize,
+    pub restart_cost_ns: u64,
+    pub backoff: BackoffConfig,
+}
+
+/// Counters folded out of a runtime before it is replaced (drop-and-
+/// restart) or when the stream ends.
+#[derive(Default)]
+struct Folded {
+    recoveries: usize,
+    patched: usize,
+    dropped: usize,
+    rollbacks: usize,
+}
+
+fn fold(runtime: &FirstAidRuntime, into: &mut Folded) {
+    let h = runtime.health();
+    into.recoveries += h.recoveries;
+    into.patched += h.patched;
+    into.dropped += h.dropped;
+    into.rollbacks += runtime
+        .recoveries
+        .iter()
+        .filter_map(|r| r.diagnosis.as_ref())
+        .map(|d| d.rollbacks)
+        .sum::<usize>();
+}
+
+/// Drains `jobs` through one supervised process until the channel closes.
+///
+/// The worker polls the shared pool before every input (one atomic load
+/// on the fast path), so a patch diagnosed by a sibling lands here before
+/// the next input is handled. Virtual time is kept monotone across
+/// relaunches via `wall_base`; crash-loop backoff and restart cost are
+/// charged to it as idle time.
+pub(crate) fn run(
+    params: WorkerParams,
+    jobs: Receiver<Input>,
+    backlog: Arc<AtomicUsize>,
+) -> WorkerReport {
+    let launch = || {
+        FirstAidRuntime::launch(
+            (params.factory)(),
+            params.runtime.clone(),
+            params.pool.clone(),
+        )
+        .expect("fleet worker launch")
+    };
+    let mut runtime = launch();
+    let mut sampler = ThroughputSampler::new(params.window_ns);
+    let mut report = WorkerReport {
+        worker: params.id,
+        ..WorkerReport::default()
+    };
+    let mut folded = Folded::default();
+    // Offsets carried across drop-and-restart relaunches.
+    let mut wall_base = 0u64;
+    let mut bytes_base = 0u64;
+    let mut consecutive_failures = 0u32;
+
+    // Launching from a warm pool (earlier run, persistent dir) counts as
+    // immunized from the start.
+    if !runtime.pool().is_empty(runtime.program()) {
+        report.immunized_at_ns = Some(runtime.wall_ns());
+    }
+
+    while let Ok(input) = jobs.recv() {
+        if runtime.refresh_patches() && report.immunized_at_ns.is_none() {
+            report.immunized_at_ns = Some(wall_base + runtime.wall_ns());
+        }
+        let buggy = input.buggy;
+        let outcome = runtime.feed(input);
+        backlog.fetch_sub(1, Ordering::AcqRel);
+
+        if outcome.served {
+            report.served += 1;
+        }
+        if outcome.failed {
+            report.failures += 1;
+            consecutive_failures += 1;
+            if consecutive_failures > 1 {
+                // Crash-looping: back off exponentially before taking more
+                // traffic, so a hot bug cannot monopolize the worker.
+                let exp = (consecutive_failures - 2).min(24);
+                let pause = params
+                    .backoff
+                    .base_ns
+                    .saturating_mul(1u64 << exp)
+                    .min(params.backoff.max_ns);
+                wall_base += pause;
+                report.backoff_ns += pause;
+            }
+        } else {
+            consecutive_failures = 0;
+            if buggy {
+                // A trigger that did not fail was neutralized by a patch.
+                report.patch_hits += 1;
+            }
+        }
+        if report.immunized_at_ns.is_none() && runtime.health().patched > 0 {
+            report.immunized_at_ns = Some(wall_base + runtime.wall_ns());
+        }
+
+        if params.recovery_budget > 0 && runtime.health().recoveries >= params.recovery_budget {
+            // Degraded fallback: this process has spent its recovery
+            // budget; stop diagnosing and relaunch it wholesale (the
+            // restart baseline as last resort). Patches it contributed
+            // stay in the pool and are re-installed at launch.
+            fold(&runtime, &mut folded);
+            wall_base += runtime.wall_ns() + params.restart_cost_ns;
+            bytes_base += runtime.process().bytes_delivered;
+            runtime = launch();
+            report.restarts += 1;
+            consecutive_failures = 0;
+        }
+
+        sampler.record(
+            wall_base + runtime.wall_ns(),
+            bytes_base + runtime.process().bytes_delivered,
+        );
+    }
+
+    fold(&runtime, &mut folded);
+    report.recoveries = folded.recoveries;
+    report.patched = folded.patched;
+    report.dropped = folded.dropped;
+    report.rollbacks = folded.rollbacks;
+    report.wall_ns = wall_base + runtime.wall_ns();
+    report.bytes = bytes_base + runtime.process().bytes_delivered;
+    report.series = sampler.series();
+    report
+}

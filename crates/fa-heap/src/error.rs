@@ -117,7 +117,10 @@ mod tests {
             chunk: Addr(0x10),
             kind: CorruptKind::BoundaryTagMismatch,
         };
-        assert_eq!(e.to_string(), "malloc(): corrupted size vs. prev_size (chunk 0x10)");
+        assert_eq!(
+            e.to_string(),
+            "malloc(): corrupted size vs. prev_size (chunk 0x10)"
+        );
         let e = HeapError::InvalidFree {
             addr: Addr(0x20),
             kind: InvalidFreeKind::DoubleFree,

@@ -498,11 +498,7 @@ impl Heap {
         }
     }
 
-    fn validated_header(
-        &self,
-        mem: &mut SimMemory,
-        chunk: Addr,
-    ) -> Result<ChunkHeader, HeapError> {
+    fn validated_header(&self, mem: &mut SimMemory, chunk: Addr) -> Result<ChunkHeader, HeapError> {
         let hdr = ChunkHeader::read(mem, chunk)?;
         if hdr.size < MIN_CHUNK || hdr.size % ALIGN != 0 {
             return Err(HeapError::CorruptChunk {
@@ -607,7 +603,10 @@ mod tests {
         let _hold = heap.malloc(&mut mem, 16).unwrap();
         heap.free(&mut mem, a).unwrap();
         let small = heap.malloc(&mut mem, 100).unwrap();
-        assert_eq!(small, a, "split should allocate the front of the free chunk");
+        assert_eq!(
+            small, a,
+            "split should allocate the front of the free chunk"
+        );
         // The remainder is immediately reusable.
         let rest = heap.malloc(&mut mem, 500).unwrap();
         assert!(rest.0 > small.0 && rest.0 < a.0 + 1200);
@@ -658,8 +657,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                HeapError::InvalidFree { kind: InvalidFreeKind::DoubleFree, .. }
-                    | HeapError::CorruptChunk { .. }
+                HeapError::InvalidFree {
+                    kind: InvalidFreeKind::DoubleFree,
+                    ..
+                } | HeapError::CorruptChunk { .. }
             ),
             "double free must abort: {err}"
         );
@@ -671,7 +672,10 @@ mod tests {
         let err = heap.free(&mut mem, Addr(0x10)).unwrap_err();
         assert!(matches!(
             err,
-            HeapError::InvalidFree { kind: InvalidFreeKind::WildPointer, .. }
+            HeapError::InvalidFree {
+                kind: InvalidFreeKind::WildPointer,
+                ..
+            }
         ));
         let err = heap.free(&mut mem, Addr(0x1000_0000 + 24)).unwrap_err();
         assert!(matches!(err, HeapError::InvalidFree { .. }));

@@ -77,9 +77,16 @@ mod tests {
             kind: AccessKind::Write,
             len: 8,
         };
-        assert_eq!(f.to_string(), "access violation: write of 8 byte(s) at 0x10");
         assert_eq!(
-            MemFault::MapOverlap { addr: Addr(4), len: 2 }.to_string(),
+            f.to_string(),
+            "access violation: write of 8 byte(s) at 0x10"
+        );
+        assert_eq!(
+            MemFault::MapOverlap {
+                addr: Addr(4),
+                len: 2
+            }
+            .to_string(),
             "mapping overlap at 0x4 (+2)"
         );
     }

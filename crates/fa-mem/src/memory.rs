@@ -71,9 +71,7 @@ impl SimMemory {
             end: start.offset(len),
             name: name.to_owned(),
         };
-        let pos = self
-            .regions
-            .partition_point(|r| r.start < region.start);
+        let pos = self.regions.partition_point(|r| r.start < region.start);
         self.regions.insert(pos, region);
         Ok(id)
     }
@@ -375,7 +373,10 @@ mod tests {
     fn write_read_roundtrip() {
         let (mut mem, base) = mapped();
         mem.write(base.offset(100), b"hello world").unwrap();
-        assert_eq!(mem.read_bytes(base.offset(100), 11).unwrap(), b"hello world");
+        assert_eq!(
+            mem.read_bytes(base.offset(100), 11).unwrap(),
+            b"hello world"
+        );
     }
 
     #[test]
@@ -504,10 +505,12 @@ mod tests {
     #[test]
     fn fill_large_range() {
         let (mut mem, base) = mapped();
-        mem.fill(base.offset(10), 3 * PAGE_SIZE as u64, 0x5a).unwrap();
+        mem.fill(base.offset(10), 3 * PAGE_SIZE as u64, 0x5a)
+            .unwrap();
         assert_eq!(mem.read_u8(base.offset(10)).unwrap(), 0x5a);
         assert_eq!(
-            mem.read_u8(base.offset(10 + 3 * PAGE_SIZE as u64 - 1)).unwrap(),
+            mem.read_u8(base.offset(10 + 3 * PAGE_SIZE as u64 - 1))
+                .unwrap(),
             0x5a
         );
         assert_eq!(mem.read_u8(base.offset(9)).unwrap(), 0);

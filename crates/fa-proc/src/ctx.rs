@@ -140,10 +140,7 @@ impl ProcessCtx {
     /// Replaces the allocator backend (e.g. attaching the First-Aid
     /// extension), handing the old backend to the closure so its heap can
     /// be adopted.
-    pub fn swap_alloc(
-        &mut self,
-        f: impl FnOnce(Box<dyn AllocBackend>) -> Box<dyn AllocBackend>,
-    ) {
+    pub fn swap_alloc(&mut self, f: impl FnOnce(Box<dyn AllocBackend>) -> Box<dyn AllocBackend>) {
         // Temporarily park a dummy to take ownership.
         let old = std::mem::replace(
             &mut self.alloc,

@@ -55,7 +55,10 @@ impl App for Scripted {
                 }
                 _ => {
                     if let Some((p, size)) = self.slots[slot] {
-                        ctx.write_u64(p.offset((input.b % (size.saturating_sub(8).max(1))) & !7), input.b)?;
+                        ctx.write_u64(
+                            p.offset((input.b % (size.saturating_sub(8).max(1))) & !7),
+                            input.b,
+                        )?;
                     }
                 }
             }
@@ -72,9 +75,8 @@ fn input_strategy() -> impl Strategy<Value = Input> {
     // Zero arrival gaps: replays deliberately skip gap idle time, so for
     // the fingerprints (which include the clock) to be comparable the
     // workload must be gap-free. The work time must then match exactly.
-    (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(op, a, b)| {
-        InputBuilder::op(op & 3).a(a).b(b).build()
-    })
+    (any::<u32>(), any::<u64>(), any::<u64>())
+        .prop_map(|(op, a, b)| InputBuilder::op(op & 3).a(a).b(b).build())
 }
 
 fn fingerprint(p: &fa_proc::Process) -> (u64, u64, u64, u64) {

@@ -26,11 +26,17 @@ fn main() {
             FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
         let w = (spec.workload)(&WorkloadSpec::new(1_200, &[400, 800]));
         let summary = fa.run(w, None);
-        println!("run 1: failures={} recoveries={}", summary.failures, summary.recoveries);
+        println!(
+            "run 1: failures={} recoveries={}",
+            summary.failures, summary.recoveries
+        );
         assert_eq!(summary.failures, 1);
         let patch_file = dir.join("squid.patches.json");
         let json = std::fs::read_to_string(&patch_file).expect("patch file written");
-        println!("run 1: persisted {} bytes of patches:\n{json}\n", json.len());
+        println!(
+            "run 1: persisted {} bytes of patches:\n{json}\n",
+            json.len()
+        );
     }
 
     // ---- second run: protected from the start ----
@@ -46,7 +52,10 @@ fn main() {
             "run 2: failures={} recoveries={} (4 triggers, all neutralized)",
             summary.failures, summary.recoveries
         );
-        assert_eq!(summary.failures, 0, "persisted patch must prevent everything");
+        assert_eq!(
+            summary.failures, 0,
+            "persisted patch must prevent everything"
+        );
     }
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -15,15 +15,18 @@ use first_aid::prelude::*;
 fn main() {
     let spec = spec_by_key("apache").expect("apache registered");
     let pool = PatchPool::in_memory();
-    let mut fa = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
-        .expect("launch");
+    let mut fa =
+        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).expect("launch");
 
     // 3000 requests; LDAP maintenance (the bug trigger) at 400, 1200, 2000.
     let workload = (spec.workload)(&WorkloadSpec::new(3_000, &[400, 1_200, 2_000]));
     let summary = fa.run(workload, None);
 
     println!("served      : {}", summary.served);
-    println!("failures    : {}  (3 triggers, only the first fails)", summary.failures);
+    println!(
+        "failures    : {}  (3 triggers, only the first fails)",
+        summary.failures
+    );
     println!("recoveries  : {}", summary.recoveries);
     println!("dropped     : {}", summary.dropped);
     assert_eq!(summary.failures, 1);
@@ -33,9 +36,14 @@ fn main() {
     let diag = rec.diagnosis.as_ref().expect("diagnosed");
     println!("\n--- diagnosis ---");
     println!("rollbacks   : {}  (paper: 28)", diag.rollbacks);
-    println!("recovery    : {:.3} s  (paper: 3.978 s on 2004 hardware)",
-        rec.recovery_ns as f64 / 1e9);
-    println!("patches     : {}  (paper: delay free x 7)", rec.patches.len());
+    println!(
+        "recovery    : {:.3} s  (paper: 3.978 s on 2004 hardware)",
+        rec.recovery_ns as f64 / 1e9
+    );
+    println!(
+        "patches     : {}  (paper: delay free x 7)",
+        rec.patches.len()
+    );
     assert_eq!(rec.patches.len(), 7);
 
     println!("\n--- bug report (paper Fig. 5) ---\n");

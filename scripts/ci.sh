@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, tests, formatting, lints.
+# The build environment is offline; all dependencies are path deps
+# (crates/* and the vendored shims/*), so --offline must always work.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings

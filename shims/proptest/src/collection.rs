@@ -1,0 +1,28 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::Strategy;
+
+/// Strategy for `Vec`s with a length drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors of `elem`-generated values with `len` in `range`.
+pub fn vec<S: Strategy>(elem: S, range: Range<usize>) -> VecStrategy<S> {
+    assert!(!range.is_empty(), "empty length range");
+    VecStrategy { elem, len: range }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn pick(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.len.clone());
+        (0..len).map(|_| self.elem.pick(rng)).collect()
+    }
+}

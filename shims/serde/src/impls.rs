@@ -1,0 +1,248 @@
+//! `Serialize` / `Deserialize` impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::value::{Number, Value};
+use crate::{Deserialize, Error, Serialize};
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                let n = value.as_u64().ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                let n = value.as_i64().ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<[T; N], Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::expected("array", value))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}

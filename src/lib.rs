@@ -29,7 +29,10 @@
 //!   reports, supervisor runtime, and the Rx/restart baselines
 //!   ([`first_aid_core`]),
 //! * [`apps`] — the seven evaluated applications and benchmark profiles
-//!   ([`fa_apps`]).
+//!   ([`fa_apps`]),
+//! * [`fleet`] — the concurrent fleet supervisor: N supervised processes
+//!   of one program sharing a patch pool, so a single diagnosis
+//!   immunizes the whole fleet ([`fa_fleet`]).
 //!
 //! # Quick start
 //!
@@ -68,6 +71,7 @@
 pub use fa_allocext as allocext;
 pub use fa_apps as apps;
 pub use fa_checkpoint as checkpoint;
+pub use fa_fleet as fleet;
 pub use fa_heap as heap;
 pub use fa_mem as mem;
 pub use fa_proc as proc;
@@ -76,10 +80,11 @@ pub use first_aid_core as core;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use fa_allocext::{BugType, ExtAllocator, Patch, PatchSet, PreventiveChange};
-    pub use fa_mem::{Addr, SimMemory};
-    pub use fa_proc::{
-        App, BoxedApp, Fault, Input, InputBuilder, Process, ProcessCtx, Response,
+    pub use fa_fleet::{
+        DispatchPolicy, Fleet, FleetConfig, FleetReport, PoolSharing, WorkerReport,
     };
+    pub use fa_mem::{Addr, SimMemory};
+    pub use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, Process, ProcessCtx, Response};
     pub use first_aid_core::{
         BugReport, FirstAidConfig, FirstAidRuntime, PatchPool, RestartRuntime, RxRuntime,
     };

@@ -22,8 +22,7 @@ fn two_processes_share_learned_patches() {
         let pool = pool.clone();
         std::thread::spawn(move || {
             let mut fa =
-                FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool)
-                    .unwrap();
+                FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
             let w = (spec.workload)(&WorkloadSpec::new(900, &[200, 600]));
             fa.run(w, None)
         })
@@ -66,8 +65,7 @@ fn validation_runs_on_a_parallel_thread() {
     let spec = spec_by_key("squid").unwrap();
     let pool = PatchPool::in_memory();
     let mut fa =
-        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone())
-            .unwrap();
+        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone()).unwrap();
     let w = (spec.workload)(&WorkloadSpec::new(900, &[400]));
     let _ = fa.run(w, None);
     let diagnosis = fa.recoveries[0].diagnosis.as_ref().unwrap();

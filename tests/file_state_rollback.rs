@@ -11,7 +11,10 @@ fn repo_fingerprint(p: &Process) -> Vec<(String, usize)> {
     (0..8u64)
         .map(|i| {
             let name = format!("repo/src/file{i}.c");
-            (name.clone(), p.ctx.files.contents(&name).map_or(0, <[u8]>::len))
+            (
+                name.clone(),
+                p.ctx.files.contents(&name).map_or(0, <[u8]>::len),
+            )
         })
         .collect()
 }

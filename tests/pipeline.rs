@@ -4,11 +4,13 @@
 use fa_apps::{all_specs, spec_by_key, WorkloadSpec};
 use first_aid::prelude::*;
 
-fn run_case(key: &str, triggers: &[usize]) -> (FirstAidRuntime, first_aid::core::runtime::RunSummary) {
+fn run_case(
+    key: &str,
+    triggers: &[usize],
+) -> (FirstAidRuntime, first_aid::core::runtime::RunSummary) {
     let spec = spec_by_key(key).unwrap_or_else(|| panic!("{key} registered"));
     let pool = PatchPool::in_memory();
-    let mut fa =
-        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
+    let mut fa = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool).unwrap();
     let w = (spec.workload)(&WorkloadSpec::new(1_500, triggers));
     let summary = fa.run(w, None);
     (fa, summary)
@@ -25,9 +27,10 @@ fn every_paper_app_survives_and_prevents() {
         );
         assert_eq!(summary.dropped, 0, "{}: nothing dropped", spec.key);
         let rec = &fa.recoveries[0];
-        let diag = rec.diagnosis.as_ref().unwrap_or_else(|| {
-            panic!("{}: diagnosis must complete", spec.key)
-        });
+        let diag = rec
+            .diagnosis
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: diagnosis must complete", spec.key));
         assert_eq!(
             diag.bugs.len(),
             1,
@@ -75,8 +78,8 @@ fn patch_pool_shared_across_processes_of_same_program() {
     // is launched after A's recovery and must be protected immediately.
     let spec = spec_by_key("mutt").unwrap();
     let pool = PatchPool::in_memory();
-    let mut a = FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone())
-        .unwrap();
+    let mut a =
+        FirstAidRuntime::launch((spec.build)(), FirstAidConfig::default(), pool.clone()).unwrap();
     let w = (spec.workload)(&WorkloadSpec::new(900, &[400]));
     let sa = a.run(w, None);
     assert_eq!(sa.failures, 1);
@@ -93,14 +96,14 @@ fn pools_do_not_mix_between_programs() {
     // that the patches do not mix for different programs."
     let pool = PatchPool::in_memory();
     let (squid, pine) = (spec_by_key("squid").unwrap(), spec_by_key("pine").unwrap());
-    let mut fa = FirstAidRuntime::launch((squid.build)(), FirstAidConfig::default(), pool.clone())
-        .unwrap();
+    let mut fa =
+        FirstAidRuntime::launch((squid.build)(), FirstAidConfig::default(), pool.clone()).unwrap();
     let _ = fa.run((squid.workload)(&WorkloadSpec::new(900, &[400])), None);
     assert!(pool.len("squid") >= 1);
     assert_eq!(pool.len("pine"), 0);
     // Pine still fails on its own bug (squid's patch does not apply).
-    let mut fa = FirstAidRuntime::launch((pine.build)(), FirstAidConfig::default(), pool.clone())
-        .unwrap();
+    let mut fa =
+        FirstAidRuntime::launch((pine.build)(), FirstAidConfig::default(), pool.clone()).unwrap();
     let s = fa.run((pine.workload)(&WorkloadSpec::new(900, &[400])), None);
     assert_eq!(s.failures, 1);
     assert!(pool.len("pine") >= 1);
