@@ -15,8 +15,10 @@
 //! | [`fig5`]   | Fig. 5 — the Apache bug report |
 //! | [`fig6`]   | Fig. 6 — normal-execution time overhead |
 //! | [`fleet`]  | Fleet immunization — shared patch pool vs per-worker ablation |
+//! | [`faults`] | Fault injection — pipeline-stage failures and the degradation ladder |
 
 pub mod ablation;
+pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

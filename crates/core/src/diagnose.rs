@@ -7,10 +7,12 @@
 //! by O(M·log N) binary search over call-sites for dangling read and
 //! uninitialized read.
 
+use std::cell::Cell;
 use std::collections::HashSet;
 
 use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, Patch};
 use fa_checkpoint::CheckpointManager;
+use fa_faults::{FaultPlan, FaultStage};
 use fa_proc::{CallSite, Process};
 
 use crate::harness::{ReexecOptions, ReplayHarness, RunReport};
@@ -29,6 +31,16 @@ pub struct EngineConfig {
     /// Run the heap-integrity monitor during re-executions (must match
     /// the deployment's normal-execution monitors).
     pub integrity_check: bool,
+    /// Hard deadline on total diagnosis time (virtual ns); `0` means
+    /// unlimited. A diagnosis that blows the deadline is abandoned as
+    /// non-patchable and the runtime descends the degradation ladder.
+    pub deadline_ns: u64,
+    /// How many times a flaky re-execution (one that dies for reasons
+    /// unrelated to the bug) is retried before the iteration is
+    /// written off as failed.
+    pub reexec_retries: u32,
+    /// Base backoff charged per flaky retry; doubles per attempt.
+    pub retry_backoff_ns: u64,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +50,9 @@ impl Default for EngineConfig {
             max_checkpoint_tries: 8,
             max_reexecutions: 96,
             integrity_check: false,
+            deadline_ns: 120_000_000_000,
+            reexec_retries: 2,
+            retry_backoff_ns: 2_000_000,
         }
     }
 }
@@ -108,10 +123,14 @@ impl Diagnosis {
     }
 }
 
-/// The diagnosis engine. Stateless; state lives in the process, the
-/// checkpoint manager, and the returned [`Diagnosis`].
+/// The diagnosis engine. Almost stateless; state lives in the process,
+/// the checkpoint manager, and the returned [`Diagnosis`] — the engine
+/// itself only tracks the flaky-retry count of the current diagnosis
+/// and holds the fault plan it consults before each re-execution.
 pub struct DiagnosisEngine {
     config: EngineConfig,
+    faults: FaultPlan,
+    retries: Cell<usize>,
 }
 
 struct Ledger {
@@ -130,7 +149,26 @@ impl Ledger {
 impl DiagnosisEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        DiagnosisEngine { config }
+        Self::with_faults(config, FaultPlan::none())
+    }
+
+    /// Creates an engine whose re-executions are subject to `faults`.
+    pub fn with_faults(config: EngineConfig, faults: FaultPlan) -> Self {
+        DiagnosisEngine {
+            config,
+            faults,
+            retries: Cell::new(0),
+        }
+    }
+
+    /// Flaky re-executions retried so far by this engine.
+    pub fn retries_used(&self) -> usize {
+        self.retries.get()
+    }
+
+    /// True once the ledger has consumed the diagnosis deadline.
+    fn past_deadline(&self, ledger: &Ledger) -> bool {
+        self.config.deadline_ns > 0 && ledger.elapsed_ns >= self.config.deadline_ns
     }
 
     /// Diagnoses the pending failure of `process`.
@@ -159,6 +197,26 @@ impl DiagnosisEngine {
                 failure.at_ns as f64 / 1e9
             )],
         };
+
+        // Injected wedge: the whole diagnosis hangs and blows its
+        // deadline without producing anything.
+        if self.faults.should_fail(FaultStage::DiagnosisTimeout) {
+            let budget = if self.config.deadline_ns > 0 {
+                self.config.deadline_ns
+            } else {
+                1_000_000_000
+            };
+            ledger.elapsed_ns += budget;
+            ledger.log.push(format!(
+                "diagnosis deadline exceeded after {:.3}s (injected wedge); non-patchable",
+                budget as f64 / 1e9
+            ));
+            return DiagnosisOutcome::NonPatchable {
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+            };
+        }
 
         // --------------------------------------------------------------
         // Phase 0: non-determinism probe at the latest checkpoint.
@@ -203,6 +261,16 @@ impl DiagnosisEngine {
         // --------------------------------------------------------------
         let mut chosen: Option<u64> = None;
         for k in 0..self.config.max_checkpoint_tries {
+            if self.past_deadline(&ledger) {
+                ledger
+                    .log
+                    .push("diagnosis deadline exceeded during phase 1; non-patchable".into());
+                return DiagnosisOutcome::NonPatchable {
+                    rollbacks: ledger.rollbacks,
+                    elapsed_ns: ledger.elapsed_ns,
+                    log: ledger.log,
+                };
+            }
             let Some(ckpt) = manager.nth_newest(k) else {
                 break;
             };
@@ -244,8 +312,12 @@ impl DiagnosisEngine {
         let mut su: Vec<BugType> = BugType::ALL.to_vec();
         let mut si: Vec<DiagnosedBug> = Vec::new();
         while let Some(&probe_bug) = su.first() {
-            if ledger.rollbacks >= self.config.max_reexecutions {
-                ledger.log.push("re-execution budget exhausted".into());
+            if ledger.rollbacks >= self.config.max_reexecutions || self.past_deadline(&ledger) {
+                ledger.log.push(if self.past_deadline(&ledger) {
+                    "diagnosis deadline exceeded during phase 2; non-patchable".into()
+                } else {
+                    "re-execution budget exhausted".into()
+                });
                 return DiagnosisOutcome::NonPatchable {
                     rollbacks: ledger.rollbacks,
                     elapsed_ns: ledger.elapsed_ns,
@@ -369,7 +441,12 @@ impl DiagnosisEngine {
         };
 
         loop {
-            if ledger.rollbacks >= self.config.max_reexecutions {
+            if ledger.rollbacks >= self.config.max_reexecutions || self.past_deadline(ledger) {
+                if self.past_deadline(ledger) {
+                    ledger
+                        .log
+                        .push("diagnosis deadline exceeded during binary search".into());
+                }
                 break;
             }
             // Do the remaining candidates still trigger the bug with the
@@ -402,7 +479,7 @@ impl DiagnosisEngine {
                 break;
             }
             while range.len() > 1 {
-                if ledger.rollbacks >= self.config.max_reexecutions {
+                if ledger.rollbacks >= self.config.max_reexecutions || self.past_deadline(ledger) {
                     break;
                 }
                 let half: Vec<CallSite> = range[..range.len() / 2].to_vec();
@@ -469,6 +546,12 @@ impl DiagnosisEngine {
         sites
     }
 
+    /// One re-execution, with bounded retry-with-backoff against flaky
+    /// iterations: if the fault plan declares this re-execution flaky
+    /// (it dies for reasons unrelated to the bug), the engine charges
+    /// an exponentially growing backoff and retries up to
+    /// `reexec_retries` times before writing the iteration off as a
+    /// failed run.
     #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
@@ -480,18 +563,39 @@ impl DiagnosisEngine {
         timing_seed: u64,
         until: usize,
     ) -> RunReport {
-        ReplayHarness::reexecute(
-            process,
-            manager,
-            ckpt_id,
-            plan,
-            &ReexecOptions {
-                mark_heap: mark,
-                timing_seed,
-                until_cursor: until,
-                integrity_check: self.config.integrity_check,
-            },
-        )
+        let mut penalty_ns = 0u64;
+        let mut attempt: u32 = 0;
+        loop {
+            if self.faults.should_fail(FaultStage::ReexecFlaky) {
+                penalty_ns += self.config.retry_backoff_ns << attempt.min(16);
+                if attempt < self.config.reexec_retries {
+                    attempt += 1;
+                    self.retries.set(self.retries.get() + 1);
+                    continue;
+                }
+                // Retries exhausted: surface a failed, empty iteration
+                // so the caller treats this probe as inconclusive.
+                return RunReport {
+                    passed: false,
+                    elapsed_ns: penalty_ns + 80_000,
+                    ..RunReport::default()
+                };
+            }
+            let mut r = ReplayHarness::reexecute(
+                process,
+                manager,
+                ckpt_id,
+                plan.clone(),
+                &ReexecOptions {
+                    mark_heap: mark,
+                    timing_seed,
+                    until_cursor: until,
+                    integrity_check: self.config.integrity_check,
+                },
+            );
+            r.elapsed_ns += penalty_ns;
+            return r;
+        }
     }
 }
 

@@ -31,7 +31,7 @@ pub struct ReexecOptions {
 }
 
 /// The outcome of one re-execution iteration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// The re-execution passed the whole region without failing.
     pub passed: bool,

@@ -68,11 +68,17 @@ pub mod validate;
 pub use baselines::{RestartRuntime, RxRuntime};
 pub use diagnose::{DiagnosedBug, Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig};
 pub use harness::{ReexecOptions, ReplayHarness, RunReport};
-pub use metrics::ThroughputSampler;
+pub use metrics::{DegradationMetrics, ThroughputSampler};
 pub use patchpool::PatchPool;
 pub use report::BugReport;
-pub use runtime::{FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryRecord, RuntimeHealth};
+pub use runtime::{
+    FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryKind, RecoveryRecord, RunSummary,
+    RuntimeHealth,
+};
 pub use validate::{ValidationEngine, ValidationOutcome};
 
 // Re-export the patch and bug-type vocabulary for downstream users.
-pub use fa_allocext::{BugType, Patch, PatchSet, PreventiveChange};
+pub use fa_allocext::{BugType, Patch, PatchSet, PreventiveChange, GENERIC_SITE};
+// Re-export the fault-injection vocabulary so harnesses need not depend
+// on fa-faults directly.
+pub use fa_faults::{FaultPlan, FaultPlanBuilder, FaultStage, Injection};

@@ -13,21 +13,31 @@
 //! (one relaxed load per input) and re-read their program's patch set
 //! only when it moved — no re-launch, no broadcast channel.
 
-use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use fa_allocext::{Patch, PatchSet};
+use fa_faults::{FaultPlan, FaultStage};
+use fa_proc::CallSite;
 
 use crate::log;
+
+/// Persistence attempts before the pool gives up and goes in-memory.
+const PERSIST_ATTEMPTS: u32 = 3;
 
 #[derive(Default)]
 struct Pools {
     by_program: HashMap<String, Vec<Patch>>,
     epoch_by_program: HashMap<String, u64>,
+    /// Call-sites whose patches the health monitor revoked as
+    /// ineffective. Tombstones: `add` refuses to re-admit patches at
+    /// these sites, so a revoked patch can never re-propagate through
+    /// the fleet. In-memory only (a fresh deployment may retry).
+    revoked_by_program: HashMap<String, HashSet<CallSite>>,
 }
 
 /// A shared, optionally persistent pool of runtime patches, keyed by
@@ -38,12 +48,20 @@ struct Pools {
 #[derive(Clone)]
 pub struct PatchPool {
     inner: Arc<Mutex<Pools>>,
-    /// Bumped on every effective `add`/`remove_site`, across all programs.
+    /// Bumped on every effective `add`/`remove_site`/`revoke`, across
+    /// all programs.
     version: Arc<AtomicU64>,
     /// Serializes persistence so concurrent writers cannot rename a stale
     /// snapshot over a newer one.
     io_lock: Arc<Mutex<()>>,
     dir: Option<PathBuf>,
+    /// Fault plan consulted before each persistence write.
+    faults: FaultPlan,
+    /// Set once persistence has failed `PERSIST_ATTEMPTS` times in a
+    /// row; from then on the pool operates in-memory only.
+    degraded: Arc<AtomicBool>,
+    /// Persistence I/O errors absorbed so far (injected or real).
+    io_errors: Arc<AtomicU64>,
 }
 
 impl PatchPool {
@@ -54,32 +72,58 @@ impl PatchPool {
             version: Arc::new(AtomicU64::new(0)),
             io_lock: Arc::new(Mutex::new(())),
             dir: None,
+            faults: FaultPlan::none(),
+            degraded: Arc::new(AtomicBool::new(false)),
+            io_errors: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Creates a pool persisted as one JSON file per program in `dir`,
-    /// loading any existing patch files.
+    /// loading any existing patch files. Only an unusable directory is
+    /// an error; unreadable or damaged individual files are logged and
+    /// skipped so a half-broken pool directory never bricks a launch.
     pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<PatchPool> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let mut pools = Pools::default();
-        for entry in std::fs::read_dir(&dir)? {
-            let path = entry?.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
-            let Some(program) = name.strip_suffix(".patches.json") else {
-                continue;
-            };
-            let data = std::fs::read_to_string(&path)?;
-            match serde_json::from_str::<Vec<Patch>>(&data) {
-                Ok(patches) => {
-                    pools.by_program.insert(program.to_owned(), patches);
+        match std::fs::read_dir(&dir) {
+            Ok(entries) => {
+                for entry in entries {
+                    let path = match entry {
+                        Ok(e) => e.path(),
+                        Err(e) => {
+                            log::warn(format!("skipping unreadable entry in {dir:?}: {e}"));
+                            continue;
+                        }
+                    };
+                    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                        continue;
+                    };
+                    let Some(program) = name.strip_suffix(".patches.json") else {
+                        continue;
+                    };
+                    let data = match std::fs::read_to_string(&path) {
+                        Ok(data) => data,
+                        Err(e) => {
+                            log::warn(format!("skipping unreadable patch file {path:?}: {e}"));
+                            continue;
+                        }
+                    };
+                    match serde_json::from_str::<Vec<Patch>>(&data) {
+                        Ok(patches) => {
+                            pools.by_program.insert(program.to_owned(), patches);
+                        }
+                        Err(e) => {
+                            // A damaged pool file must not brick the runtime.
+                            log::warn(format!("ignoring damaged patch file {path:?}: {e}"));
+                        }
+                    }
                 }
-                Err(e) => {
-                    // A damaged pool file must not brick the runtime.
-                    log::warn(format!("ignoring damaged patch file {path:?}: {e}"));
-                }
+            }
+            Err(e) => {
+                log::warn(format!(
+                    "cannot list patch pool {dir:?}: {e}; starting empty"
+                ));
             }
         }
         Ok(PatchPool {
@@ -87,7 +131,26 @@ impl PatchPool {
             version: Arc::new(AtomicU64::new(0)),
             io_lock: Arc::new(Mutex::new(())),
             dir: Some(dir),
+            faults: FaultPlan::none(),
+            degraded: Arc::new(AtomicBool::new(false)),
+            io_errors: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Subjects this pool's persistence writes to `faults`.
+    pub fn with_faults(mut self, faults: FaultPlan) -> PatchPool {
+        self.faults = faults;
+        self
+    }
+
+    /// True once the pool gave up on persistence and went in-memory.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Persistence I/O errors absorbed so far.
+    pub fn io_error_count(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
     }
 
     /// Returns the patch set for a program (empty if none).
@@ -143,19 +206,37 @@ impl PatchPool {
         self.len(program) == 0
     }
 
-    /// Adds patches for a program, skipping exact duplicates, and persists.
-    pub fn add(&self, program: &str, patches: impl IntoIterator<Item = Patch>) {
+    /// Adds patches for a program, skipping exact duplicates and
+    /// patches at revoked call-sites (tombstoned by the health
+    /// monitor), and persists. Returns how many patches were actually
+    /// admitted.
+    pub fn add(&self, program: &str, patches: impl IntoIterator<Item = Patch>) -> usize {
         let mut pools = self.inner.lock();
+        let revoked = pools
+            .revoked_by_program
+            .get(program)
+            .cloned()
+            .unwrap_or_default();
         let list = pools.by_program.entry(program.to_owned()).or_default();
-        let mut changed = false;
+        let mut added = 0;
+        let mut skipped_revoked = 0;
         for p in patches {
+            if revoked.contains(&p.site) {
+                skipped_revoked += 1;
+                continue;
+            }
             if !list.contains(&p) {
                 list.push(p);
-                changed = true;
+                added += 1;
             }
         }
-        if !changed {
-            return;
+        if skipped_revoked > 0 {
+            log::warn(format!(
+                "patch pool for {program}: refused {skipped_revoked} patch(es) at revoked call-site(s)"
+            ));
+        }
+        if added == 0 {
+            return 0;
         }
         *pools
             .epoch_by_program
@@ -164,6 +245,59 @@ impl PatchPool {
         drop(pools);
         self.version.fetch_add(1, Ordering::AcqRel);
         self.persist(program);
+        added
+    }
+
+    /// Revokes all patches at `site`: removes them from the pool and
+    /// tombstones the site so `add` refuses to re-admit them (one
+    /// worker's ineffective patch must not keep re-poisoning the
+    /// fleet). Bumps the epoch so sibling workers uninstall the patch
+    /// on their next refresh. Returns `false` if the site was already
+    /// revoked and held no patches.
+    pub fn revoke(&self, program: &str, site: CallSite) -> bool {
+        let mut pools = self.inner.lock();
+        let newly_tombstoned = pools
+            .revoked_by_program
+            .entry(program.to_owned())
+            .or_default()
+            .insert(site);
+        let removed = match pools.by_program.get_mut(program) {
+            Some(list) => {
+                let before = list.len();
+                list.retain(|p| p.site != site);
+                list.len() != before
+            }
+            None => false,
+        };
+        if !newly_tombstoned && !removed {
+            return false;
+        }
+        *pools
+            .epoch_by_program
+            .entry(program.to_owned())
+            .or_insert(0) += 1;
+        drop(pools);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.persist(program);
+        true
+    }
+
+    /// Returns `true` if patches at `site` have been revoked.
+    pub fn is_revoked(&self, program: &str, site: CallSite) -> bool {
+        self.inner
+            .lock()
+            .revoked_by_program
+            .get(program)
+            .is_some_and(|s| s.contains(&site))
+    }
+
+    /// Number of revoked (tombstoned) call-sites for a program.
+    pub fn revoked_count(&self, program: &str) -> usize {
+        self.inner
+            .lock()
+            .revoked_by_program
+            .get(program)
+            .map_or(0, HashSet::len)
     }
 
     /// Removes all patches at the given call-site (validation failure).
@@ -193,8 +327,16 @@ impl PatchPool {
     /// Takes the pool's IO lock and re-reads the current patch list under
     /// it, so the file on disk always ends at the newest state even when
     /// several workers persist concurrently.
+    ///
+    /// I/O errors (injected via the fault plan or real) are retried up
+    /// to [`PERSIST_ATTEMPTS`] times; after that the pool flips to
+    /// degraded in-memory operation — patches keep working for this
+    /// deployment, they just will not survive it.
     fn persist(&self, program: &str) {
         let Some(dir) = &self.dir else { return };
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
         let _io = self.io_lock.lock();
         let snapshot = self
             .inner
@@ -215,14 +357,36 @@ impl PatchPool {
             ".{program}.patches.json.tmp-{}",
             std::process::id()
         ));
-        if let Err(e) = std::fs::write(&tmp, json) {
-            log::warn(format!("failed to persist patches to {tmp:?}: {e}"));
-            return;
+        for attempt in 1..=PERSIST_ATTEMPTS {
+            match self.try_write(&tmp, &path, &json) {
+                Ok(()) => return,
+                Err(e) => {
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    log::warn(format!(
+                        "patch persistence for {program} failed \
+                         (attempt {attempt}/{PERSIST_ATTEMPTS}): {e}"
+                    ));
+                }
+            }
         }
-        if let Err(e) = std::fs::rename(&tmp, &path) {
-            log::warn(format!("failed to move patches into {path:?}: {e}"));
-            let _ = std::fs::remove_file(&tmp);
+        self.degraded.store(true, Ordering::Relaxed);
+        log::warn(format!(
+            "patch persistence for {program} failed {PERSIST_ATTEMPTS} times; \
+             continuing in-memory (degraded)"
+        ));
+    }
+
+    /// One temp-write + rename attempt, subject to the fault plan.
+    fn try_write(&self, tmp: &Path, path: &Path, json: &str) -> std::io::Result<()> {
+        if self.faults.should_fail(FaultStage::PoolPersistIo) {
+            return Err(std::io::Error::other("injected pool persistence fault"));
         }
+        std::fs::write(tmp, json)?;
+        if let Err(e) = std::fs::rename(tmp, path) {
+            let _ = std::fs::remove_file(tmp);
+            return Err(e);
+        }
+        Ok(())
     }
 }
 
@@ -378,6 +542,74 @@ mod tests {
         assert_eq!(pool.len("apache"), (WRITERS * PER_WRITER) as usize);
         assert_eq!(pool.epoch("apache"), WRITERS * PER_WRITER);
         assert_eq!(pool.version(), WRITERS * PER_WRITER);
+    }
+
+    #[test]
+    fn revoked_sites_tombstone_and_block_readdition() {
+        let pool = PatchPool::in_memory();
+        assert_eq!(pool.add("apache", [patch(BugType::DanglingRead, 1)]), 1);
+        assert!(!pool.is_revoked("apache", CallSite([1, 0, 0])));
+
+        assert!(pool.revoke("apache", CallSite([1, 0, 0])));
+        assert_eq!(pool.len("apache"), 0);
+        assert!(pool.is_revoked("apache", CallSite([1, 0, 0])));
+        assert_eq!(pool.revoked_count("apache"), 1);
+        let epoch_after_revoke = pool.epoch("apache");
+
+        // Re-adding the same patch is refused with a warning.
+        let (added, lines) =
+            log::captured(|| pool.add("apache", [patch(BugType::DanglingRead, 1)]));
+        assert_eq!(added, 0);
+        assert_eq!(pool.len("apache"), 0);
+        assert!(
+            lines.iter().any(|l| l.contains("revoked")),
+            "refusal is logged: {lines:?}"
+        );
+        assert_eq!(
+            pool.epoch("apache"),
+            epoch_after_revoke,
+            "a refused add is not a mutation"
+        );
+
+        // Revoking again is a no-op; other sites are unaffected.
+        assert!(!pool.revoke("apache", CallSite([1, 0, 0])));
+        assert_eq!(pool.add("apache", [patch(BugType::DanglingRead, 2)]), 1);
+        assert!(!pool.is_revoked("squid", CallSite([1, 0, 0])));
+    }
+
+    #[test]
+    fn pool_io_failures_retry_then_degrade_in_memory() {
+        use fa_faults::{FaultPlan, FaultStage, Injection};
+
+        let dir = std::env::temp_dir().join(format!("fa-pool-io-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::builder(9)
+            .inject(FaultStage::PoolPersistIo, Injection::EveryNth(1))
+            .build();
+        let pool = PatchPool::persistent(&dir).unwrap().with_faults(plan);
+
+        let (_, lines) = log::captured(|| pool.add("squid", [patch(BugType::BufferOverflow, 1)]));
+        assert_eq!(pool.io_error_count(), 3, "three attempts, three errors");
+        assert!(pool.is_degraded());
+        assert!(
+            lines.iter().any(|l| l.contains("continuing in-memory")),
+            "degradation is logged: {lines:?}"
+        );
+
+        // The pool still works — in memory.
+        assert_eq!(pool.len("squid"), 1);
+        pool.add("squid", [patch(BugType::BufferOverflow, 2)]);
+        assert_eq!(pool.len("squid"), 2);
+        assert_eq!(
+            pool.io_error_count(),
+            3,
+            "a degraded pool stops attempting I/O"
+        );
+        assert!(
+            !dir.join("squid.patches.json").exists(),
+            "nothing reached disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

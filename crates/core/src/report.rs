@@ -83,6 +83,35 @@ impl BugReport {
         }
     }
 
+    /// Assembles a minimal report for a degraded recovery: diagnosis
+    /// could not conclude, so there is no validation trace or trigger
+    /// data — only the ladder rung taken, the patches (if any) it
+    /// installed, and the log explaining why.
+    pub fn degraded(
+        program: &str,
+        failure: &FailureRecord,
+        rung: &str,
+        patches: &[Patch],
+        mut log: Vec<String>,
+    ) -> BugReport {
+        log.push(format!("degraded recovery: {rung}"));
+        BugReport {
+            program: program.to_owned(),
+            failure: format!(
+                "{} at input #{} (t={:.3}s)",
+                failure.fault,
+                failure.input_index,
+                failure.at_ns as f64 / 1e9
+            ),
+            recovery_s: 0.0,
+            validation_s: 0.0,
+            diagnosis_log: log,
+            patches: patches.iter().map(|p| (p.clone(), 0)).collect(),
+            mm_diff: Vec::new(),
+            illegal_summary: Vec::new(),
+        }
+    }
+
     /// Pairs the memory-management operations of the unpatched and patched
     /// traces (paper Fig. 5, item 4).
     fn mm_diff(unpatched: &[TraceEvent], patched: &[TraceEvent]) -> Vec<(String, String)> {

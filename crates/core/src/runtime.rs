@@ -5,13 +5,17 @@
 //! patch generation → patch application → resumed execution; then patch
 //! validation on a fork and bug-report generation.
 
-use fa_allocext::{ExtAllocator, Patch};
+use std::collections::HashMap;
+
+use fa_allocext::{BugType, ExtAllocator, Patch, PatchSet, GENERIC_SITE};
 use fa_checkpoint::{AdaptiveConfig, CheckpointManager, CheckpointStats};
-use fa_proc::{BoxedApp, Fault, Input, Process, ProcessCtx, StepResult};
+use fa_faults::{FaultPlan, FaultStage};
+use fa_proc::{BoxedApp, CallSite, FailureRecord, Fault, Input, Process, ProcessCtx, StepResult};
 
 use crate::diagnose::{Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig};
 use crate::harness::expect_ext;
-use crate::metrics::ThroughputSampler;
+use crate::log;
+use crate::metrics::{DegradationMetrics, ThroughputSampler};
 use crate::patchpool::PatchPool;
 use crate::report::BugReport;
 use crate::validate::{ValidationEngine, ValidationOutcome};
@@ -31,11 +35,27 @@ pub struct FirstAidConfig {
     pub validation_iterations: usize,
     /// Delay-free quarantine byte budget (1 MB in the paper).
     pub quarantine_bytes: u64,
+    /// Quarantine budget while program-wide generic patches are active:
+    /// best-effort delay-free quarantines *every* free, so it needs a
+    /// far larger window to span the same error-propagation distance.
+    pub generic_quarantine_bytes: u64,
     /// Run the heap-integrity error monitor every N served inputs
     /// (0 disables it). A stronger monitor catches metadata corruption
     /// closer to the bug-triggering point, shortening error-propagation
     /// distance (paper §3 invites deploying such detectors).
     pub integrity_check_every: usize,
+    /// Fault plan injected into the pipeline's own stages (checkpoint
+    /// corruption, flaky/wedged diagnosis, validation-fork death, pool
+    /// persistence I/O). [`FaultPlan::none`] in production.
+    pub faults: FaultPlan,
+    /// Health monitor: after how many failures with the same bug
+    /// signature the installed patches are revoked as ineffective and
+    /// the ladder descends one rung (minimum 2: the first failure of a
+    /// signature is what *creates* its patches).
+    pub patch_recurrence_limit: u32,
+    /// Declare the runtime restart-worthy after this many consecutive
+    /// dropped inputs (rung 4; fleet workers relaunch on it; 0 never).
+    pub restart_after_drops: usize,
 }
 
 impl Default for FirstAidConfig {
@@ -47,7 +67,11 @@ impl Default for FirstAidConfig {
             engine: EngineConfig::default(),
             validation_iterations: 3,
             quarantine_bytes: fa_allocext::DEFAULT_QUARANTINE_BYTES,
+            generic_quarantine_bytes: 16 << 20,
             integrity_check_every: 0,
+            faults: FaultPlan::none(),
+            patch_recurrence_limit: 2,
+            restart_after_drops: 4,
         }
     }
 }
@@ -57,12 +81,24 @@ impl Default for FirstAidConfig {
 pub enum RecoveryKind {
     /// Bugs diagnosed; runtime patches installed; execution resumed.
     Patched,
+    /// Precise diagnosis failed, but the program-wide best-effort
+    /// patches carried the poisoned input through (ladder rung 2).
+    GenericPatched,
     /// The failure did not reproduce under timing changes; execution
     /// simply continued.
     NonDeterministic,
     /// Diagnosis gave up; the poisoned input was dropped and execution
-    /// continued unprotected.
+    /// continued (ladder rung 3, or the crash-loop fast path).
     Dropped,
+}
+
+/// Health-monitor state for one bug signature: how often it recurred
+/// and which patch sites its last recovery installed (the revocation
+/// targets if it keeps recurring).
+#[derive(Default)]
+struct SigState {
+    count: u32,
+    sites: Vec<CallSite>,
 }
 
 /// Everything produced by one recovery.
@@ -108,6 +144,8 @@ pub struct RunSummary {
     pub wall_ns: u64,
     /// Total bytes delivered.
     pub bytes_delivered: u64,
+    /// Degradation-ladder counters accumulated over the run.
+    pub degradation: DegradationMetrics,
 }
 
 /// A point-in-time health summary of one supervised runtime, cheap to
@@ -124,6 +162,9 @@ pub struct RuntimeHealth {
     pub backlog: usize,
     /// Patch-pool epoch this runtime last synchronized to.
     pub pool_epoch: u64,
+    /// Consecutive dropped inputs (resets on any non-dropped recovery);
+    /// feeds the rung-4 restart decision.
+    pub drop_streak: usize,
 }
 
 /// The First-Aid supervisor.
@@ -142,6 +183,14 @@ pub struct FirstAidRuntime {
     pool_epoch_seen: u64,
     /// Input index of the most recent failure, for crash-loop detection.
     last_failure_index: Option<usize>,
+    /// Degradation-ladder counters (core stages; pool I/O counters are
+    /// read live from the pool by [`FirstAidRuntime::degradation`]).
+    degradation: DegradationMetrics,
+    /// Patch health monitor: recurrence count and installed patch sites
+    /// per bug signature.
+    monitor: HashMap<String, SigState>,
+    /// Consecutive dropped inputs; rung-4 restart trigger.
+    drop_streak: usize,
     /// All recoveries performed, in order.
     pub recoveries: Vec<RecoveryRecord>,
 }
@@ -185,6 +234,9 @@ impl FirstAidRuntime {
             pool_version_seen,
             pool_epoch_seen,
             last_failure_index: None,
+            degradation: DegradationMetrics::default(),
+            monitor: HashMap::new(),
+            drop_streak: 0,
             recoveries: Vec::new(),
         })
     }
@@ -247,10 +299,86 @@ impl FirstAidRuntime {
             // to install here.
             return false;
         }
-        self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
-            expect_ext(alloc).set_normal(patches);
-        });
+        self.install_patchset(patches);
         true
+    }
+
+    /// Installs a patch set on the live allocator, widening the
+    /// delay-free quarantine when program-wide generic patches are
+    /// active (they quarantine *every* free, so the production budget
+    /// would recycle poisoned blocks far too early).
+    fn install_patchset(&mut self, patches: PatchSet) {
+        let threshold = if patches.has_generic() {
+            self.config
+                .quarantine_bytes
+                .max(self.config.generic_quarantine_bytes)
+        } else {
+            self.config.quarantine_bytes
+        };
+        self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
+            let ext = expect_ext(alloc);
+            ext.set_quarantine_threshold(threshold);
+            ext.set_normal(patches);
+        });
+    }
+
+    /// Fault-injection hook: after a checkpoint is taken, the plan may
+    /// silently rot it. The damage is discovered (via checksum) only
+    /// when a later recovery goes looking for a rollback target.
+    fn maybe_corrupt_checkpoint(&mut self) {
+        if self
+            .config
+            .faults
+            .should_fail(FaultStage::CheckpointCorrupt)
+        {
+            self.manager.corrupt_newest();
+        }
+    }
+
+    /// Health-monitor key for a failure: fault class + failing op code.
+    /// Deliberately coarse — a patch that "works" but lets the same kind
+    /// of failure recur on the same request type is not working.
+    fn bug_signature(&self, failure: &FailureRecord) -> String {
+        let op = self
+            .process
+            .log()
+            .get(failure.input_index)
+            .map(|i| i.op)
+            .unwrap_or(u32::MAX);
+        format!("{}@op{}", failure.fault.class(), op)
+    }
+
+    /// Returns the degradation-ladder counters, with the pool's
+    /// persistence health folded in.
+    pub fn degradation(&self) -> DegradationMetrics {
+        let mut d = self.degradation.clone();
+        d.pool_io_errors = self.pool.io_error_count();
+        d.pool_degraded = self.pool.is_degraded();
+        d
+    }
+
+    /// Rung 4 trigger: too many consecutive dropped inputs means even
+    /// the generic rung is not holding; a supervisor should fold this
+    /// runtime's results and relaunch it from scratch.
+    pub fn needs_restart(&self) -> bool {
+        self.config.restart_after_drops > 0 && self.drop_streak >= self.config.restart_after_drops
+    }
+
+    /// Files a recovery record, maintaining the drop streak and making
+    /// sure a checkpoint survives (corruption sweeps can empty the ring;
+    /// every later recovery assumes a rollback target exists).
+    fn push_record(&mut self, record: RecoveryRecord) -> usize {
+        if record.kind == RecoveryKind::Dropped {
+            self.drop_streak += 1;
+        } else {
+            self.drop_streak = 0;
+        }
+        if self.manager.is_empty() {
+            self.manager.force_checkpoint(&mut self.process);
+            self.sync_wall();
+        }
+        self.recoveries.push(record);
+        self.recoveries.len() - 1
     }
 
     /// Returns the number of inputs enqueued but not yet consumed.
@@ -274,6 +402,7 @@ impl FirstAidRuntime {
                 .count(),
             backlog: self.process.pending(),
             pool_epoch: self.pool_epoch_seen,
+            drop_streak: self.drop_streak,
         }
     }
 
@@ -302,8 +431,10 @@ impl FirstAidRuntime {
         self.sync_wall();
         match r {
             StepResult::Ok(_) => {
+                self.drop_streak = 0;
                 if self.manager.maybe_checkpoint(&mut self.process).is_some() {
                     self.sync_wall();
+                    self.maybe_corrupt_checkpoint();
                 }
                 FeedOutcome {
                     served: true,
@@ -312,10 +443,11 @@ impl FirstAidRuntime {
                 }
             }
             StepResult::Failed(_) => {
+                let skipped_before = self.process.skipped_count();
                 let idx = self.recover();
                 // After recovery the failing input either succeeded during
-                // the patched replay or was dropped.
-                let served = self.recoveries[idx].kind != RecoveryKind::Dropped;
+                // the (possibly generic-)patched replay or was skipped.
+                let served = self.process.skipped_count() == skipped_before;
                 FeedOutcome {
                     served,
                     failed: true,
@@ -333,9 +465,13 @@ impl FirstAidRuntime {
         mut sampler: Option<&mut ThroughputSampler>,
     ) -> RunSummary {
         let mut summary = RunSummary::default();
+        let mut enqueued = 0usize;
         for input in workload {
             self.process.enqueue(input);
+            enqueued += 1;
         }
+        let skipped_at_entry = self.process.skipped_count();
+        let mut ok_steps = 0usize;
         loop {
             match self.process.step() {
                 None => {
@@ -343,20 +479,19 @@ impl FirstAidRuntime {
                         break;
                     }
                     // A pending failure without a step means recover.
-                    let idx = self.recover();
+                    self.recover();
                     summary.recoveries += 1;
-                    if self.recoveries[idx].kind == RecoveryKind::Dropped {
-                        summary.dropped += 1;
-                    }
                 }
                 Some(StepResult::Ok(_)) => {
-                    summary.served += 1;
+                    ok_steps += 1;
+                    self.drop_streak = 0;
                     self.sync_wall();
                     if self.manager.maybe_checkpoint(&mut self.process).is_some() {
                         self.sync_wall();
+                        self.maybe_corrupt_checkpoint();
                     }
                     let every = self.config.integrity_check_every;
-                    if every > 0 && summary.served % every == 0 {
+                    if every > 0 && ok_steps.is_multiple_of(every) {
                         let verdict = self
                             .process
                             .ctx
@@ -365,35 +500,41 @@ impl FirstAidRuntime {
                             self.process.raise_failure(Fault::Heap(e));
                             summary.failures += 1;
                             self.sync_wall();
-                            let idx = self.recover();
+                            self.recover();
                             summary.recoveries += 1;
-                            if self.recoveries[idx].kind == RecoveryKind::Dropped {
-                                summary.dropped += 1;
-                            }
                         }
                     }
                 }
                 Some(StepResult::Failed(_)) => {
                     summary.failures += 1;
                     self.sync_wall();
-                    let idx = self.recover();
+                    self.recover();
                     summary.recoveries += 1;
-                    if self.recoveries[idx].kind == RecoveryKind::Dropped {
-                        summary.dropped += 1;
-                    }
                 }
             }
             if let Some(s) = sampler.as_deref_mut() {
                 s.record(self.wall_ns, self.process.bytes_delivered);
             }
         }
+        // Conservation: every enqueued input was either served (possibly
+        // during a patched replay inside a recovery) or skipped. This is
+        // what the liveness property tests check under fault injection.
+        summary.dropped = self.process.skipped_count() - skipped_at_entry;
+        summary.served = enqueued.saturating_sub(summary.dropped);
         summary.wall_ns = self.wall_ns;
         summary.bytes_delivered = self.process.bytes_delivered;
+        summary.degradation = self.degradation();
         summary
     }
 
     /// Diagnoses the pending failure, installs patches, resumes execution,
     /// validates, and files a [`RecoveryRecord`]. Returns its index.
+    ///
+    /// When precise diagnosis is impossible (timeout, flaky re-execution,
+    /// lost checkpoints, revoked patches), recovery descends the
+    /// degradation ladder instead of giving up: generic best-effort
+    /// patches → rollback-and-drop → (via [`FirstAidRuntime::needs_restart`])
+    /// drop-and-restart.
     ///
     /// # Panics
     ///
@@ -407,6 +548,59 @@ impl FirstAidRuntime {
         self.sync_wall();
         let wall_at_failure = self.wall_ns;
 
+        // Discard checkpoints whose checksum no longer matches before
+        // anything relies on the ring: diagnosis and the ladder both
+        // fall back to the next-older intact checkpoint.
+        let swept = self.manager.sweep_corrupt();
+        if !swept.is_empty() {
+            self.degradation.checkpoint_checksum_misses += swept.len();
+            log::warn(format!(
+                "{}: discarded {} corrupt checkpoint(s) {:?}; falling back to older intact ones",
+                self.program,
+                swept.len(),
+                swept
+            ));
+        }
+
+        // Patch health monitor: a recurring bug signature means the
+        // patches installed for it are not working. Revoke them (fleet-
+        // wide tombstone) and escalate one rung.
+        let sig = self.bug_signature(&failure);
+        let recurrence = {
+            let entry = self.monitor.entry(sig.clone()).or_default();
+            entry.count += 1;
+            entry.count
+        };
+        if recurrence >= self.config.patch_recurrence_limit.max(2) {
+            let sites = self
+                .monitor
+                .get_mut(&sig)
+                .map(|e| std::mem::take(&mut e.sites))
+                .unwrap_or_default();
+            if !sites.is_empty() {
+                let mut revoked = 0usize;
+                for site in sites {
+                    if self.pool.revoke(&self.program, site) {
+                        revoked += 1;
+                    }
+                }
+                if revoked > 0 {
+                    self.degradation.patch_revocations += revoked;
+                    log::warn(format!(
+                        "{}: bug signature {sig} recurred {recurrence}x under its patches; \
+                         revoked {revoked} site(s) and escalating one rung",
+                        self.program
+                    ));
+                }
+                if let Some(e) = self.monitor.get_mut(&sig) {
+                    e.count = 0;
+                }
+                self.last_failure_index = Some(failure.input_index);
+                let record = self.descend_ladder(&failure, wall_at_failure, Vec::new());
+                return self.push_record(record);
+            }
+        }
+
         // Crash-loop safeguard: if failures recur within a few inputs of
         // the previous one, diagnosis is evidently not helping (e.g. an
         // ineffective patch, or a bug First-Aid cannot fix) — resort to
@@ -417,22 +611,13 @@ impl FirstAidRuntime {
             .is_some_and(|prev| failure.input_index.saturating_sub(prev) < 20);
         self.last_failure_index = Some(failure.input_index);
         if crash_loop {
-            self.process.clear_failure();
-            self.process.skip_current();
-            self.manager.rearm(&self.process);
-            self.recoveries.push(RecoveryRecord {
-                kind: RecoveryKind::Dropped,
-                diagnosis: None,
-                patches: Vec::new(),
-                recovery_ns: self.wall_ns - wall_at_failure,
-                validation: None,
-                report: None,
-            });
-            return self.recoveries.len() - 1;
+            let record = self.descend_cheap(&failure, wall_at_failure);
+            return self.push_record(record);
         }
 
-        let engine = DiagnosisEngine::new(self.config.engine);
+        let engine = DiagnosisEngine::with_faults(self.config.engine, self.config.faults.clone());
         let outcome = engine.diagnose(&mut self.process, &self.manager);
+        self.degradation.reexec_retries += engine.retries_used();
         let record = match outcome {
             DiagnosisOutcome::NonDeterministic {
                 elapsed_ns, log, ..
@@ -442,6 +627,7 @@ impl FirstAidRuntime {
                 self.wall_ns += elapsed_ns;
                 self.resync_without_credit();
                 self.manager.rearm(&self.process);
+                self.degradation.nondeterministic += 1;
                 let _ = log;
                 RecoveryRecord {
                     kind: RecoveryKind::NonDeterministic,
@@ -452,56 +638,46 @@ impl FirstAidRuntime {
                     report: None,
                 }
             }
-            DiagnosisOutcome::NonPatchable { elapsed_ns, .. } => {
+            DiagnosisOutcome::NonPatchable {
+                elapsed_ns, log, ..
+            } => {
                 self.wall_ns += elapsed_ns;
-                // Fall back: roll back to the newest checkpoint, replay in
-                // normal mode up to the poisoned input, drop it.
-                let newest = self
-                    .manager
-                    .nth_newest(0)
-                    .expect("launch guarantees a checkpoint")
-                    .id;
-                self.manager.rollback_to(&mut self.process, newest);
-                let patches = self.sync_pool_patches();
-                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
-                    expect_ext(alloc).set_normal(patches);
-                });
-                let t0 = self.process.ctx.clock.now();
-                while self.process.cursor() < failure.input_index {
-                    match self.process.step() {
-                        Some(r) if r.is_ok() => {}
-                        _ => break,
-                    }
+                if log.iter().any(|l| l.contains("deadline exceeded")) {
+                    self.degradation.diagnosis_timeouts += 1;
                 }
-                self.process.clear_failure();
-                self.process.skip_current();
-                self.wall_ns += self.process.ctx.clock.now().saturating_sub(t0);
-                self.resync_without_credit();
-                self.manager.truncate_after(newest);
-                self.manager.rearm(&self.process);
-                RecoveryRecord {
-                    kind: RecoveryKind::Dropped,
-                    diagnosis: None,
-                    patches: Vec::new(),
-                    recovery_ns: self.wall_ns - wall_at_failure,
-                    validation: None,
-                    report: None,
-                }
+                self.descend_ladder(&failure, wall_at_failure, log)
             }
             DiagnosisOutcome::Diagnosed(diagnosis) => {
                 self.wall_ns += diagnosis.elapsed_ns;
                 let patches = diagnosis.patches(&self.process.ctx.symbols);
+                // A diagnosis that only re-derives revoked (known-
+                // ineffective) sites would re-install them and loop;
+                // escalate instead.
+                if !patches.is_empty()
+                    && patches
+                        .iter()
+                        .all(|p| self.pool.is_revoked(&self.program, p.site))
+                {
+                    log::warn(format!(
+                        "{}: diagnosis re-derived only revoked patch site(s); escalating",
+                        self.program
+                    ));
+                    let record =
+                        self.descend_ladder(&failure, wall_at_failure, diagnosis.log.clone());
+                    return self.push_record(record);
+                }
                 self.pool.add(&self.program, patches.iter().cloned());
+                if let Some(e) = self.monitor.get_mut(&sig) {
+                    e.sites = patches.iter().map(|p| p.site).collect();
+                }
+                self.degradation.precise_patches += 1;
                 let patchset = self.sync_pool_patches();
 
                 // Final recovery pass: back to the diagnosis checkpoint in
                 // normal mode with the patches installed; replay forward.
                 self.manager
                     .rollback_to(&mut self.process, diagnosis.checkpoint_id);
-                let ps = patchset.clone();
-                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
-                    expect_ext(alloc).set_normal(ps);
-                });
+                self.install_patchset(patchset.clone());
                 // Recovery ends when the process is back in normal mode
                 // and has caught up to the input it crashed on; traffic
                 // beyond that is ordinary execution (the paper's recovery
@@ -535,26 +711,49 @@ impl FirstAidRuntime {
                         .map(|c| c.snap.clone());
                     match snap {
                         Some(snap) => {
-                            let v = ValidationEngine::new(self.config.validation_iterations)
-                                .validate(&self.process, &snap, &patchset, diagnosis.until_cursor);
-                            if !v.consistent {
-                                for p in &patches {
-                                    self.pool.remove_site(&self.program, p.site);
+                            let verdict = ValidationEngine::new(self.config.validation_iterations)
+                                .try_validate(
+                                    &self.config.faults,
+                                    &self.process,
+                                    &snap,
+                                    &patchset,
+                                    diagnosis.until_cursor,
+                                );
+                            match verdict {
+                                None => {
+                                    // The validation fork died; the patches
+                                    // already survived diagnosis, so keep
+                                    // them — but file no consistency verdict
+                                    // and no report.
+                                    self.degradation.validation_fork_failures += 1;
+                                    log::warn(format!(
+                                        "{}: validation fork failed; keeping patches unvalidated",
+                                        self.program
+                                    ));
+                                    (None, None)
                                 }
-                                let reduced = self.sync_pool_patches();
-                                self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
-                                    expect_ext(alloc).set_normal(reduced);
-                                });
+                                Some(v) => {
+                                    if !v.consistent {
+                                        for p in &patches {
+                                            self.pool.remove_site(&self.program, p.site);
+                                        }
+                                        let reduced = self.sync_pool_patches();
+                                        self.install_patchset(reduced);
+                                        if let Some(e) = self.monitor.get_mut(&sig) {
+                                            e.sites.clear();
+                                        }
+                                    }
+                                    let report = BugReport::build(
+                                        &self.program,
+                                        &failure,
+                                        &diagnosis,
+                                        &patches,
+                                        &v,
+                                        &self.process.ctx.symbols,
+                                    );
+                                    (Some(v), Some(report))
+                                }
                             }
-                            let report = BugReport::build(
-                                &self.program,
-                                &failure,
-                                &diagnosis,
-                                &patches,
-                                &v,
-                                &self.process.ctx.symbols,
-                            );
-                            (Some(v), Some(report))
                         }
                         None => (None, None),
                     }
@@ -574,7 +773,142 @@ impl FirstAidRuntime {
                 }
             }
         };
-        self.recoveries.push(record);
-        self.recoveries.len() - 1
+        self.push_record(record)
+    }
+
+    /// Makes sure the program-wide generic best-effort patches
+    /// (`AddPadding` + `DelayFree` at every call-site) are in the pool,
+    /// unless that rung has itself been revoked. Returns the freshly
+    /// added patches (empty if they were already present or revoked).
+    fn arm_generic_rung(&mut self) -> Vec<Patch> {
+        if self.pool.is_revoked(&self.program, GENERIC_SITE) {
+            return Vec::new();
+        }
+        let generics = vec![
+            Patch::generic(BugType::BufferOverflow),
+            Patch::generic(BugType::DanglingRead),
+        ];
+        if self.pool.add(&self.program, generics.iter().cloned()) > 0 {
+            log::warn(format!(
+                "{}: descending to generic best-effort patches \
+                 (program-wide add-padding + delay-free)",
+                self.program
+            ));
+            generics
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Ladder rungs 2 and 3: roll back to the **oldest** intact
+    /// checkpoint (maximum distance from the poisoned state), install
+    /// the generic best-effort patches if that rung is still available,
+    /// replay, and — under generic protection — attempt the poisoned
+    /// input itself. Serving it is rung 2 ([`RecoveryKind::GenericPatched`]);
+    /// dropping it is rung 3 ([`RecoveryKind::Dropped`]).
+    fn descend_ladder(
+        &mut self,
+        failure: &FailureRecord,
+        wall_at_failure: u64,
+        diag_log: Vec<String>,
+    ) -> RecoveryRecord {
+        let sig = self.bug_signature(failure);
+        let fresh = self.arm_generic_rung();
+        let patchset = self.sync_pool_patches();
+        let generic_active = patchset.has_generic();
+
+        let Some(target) = self.manager.oldest().map(|c| c.id) else {
+            // Every checkpoint was corrupt and got swept: no rollback
+            // target at all. Cheapest possible recovery in place.
+            return self.descend_cheap(failure, wall_at_failure);
+        };
+        self.manager.rollback_to(&mut self.process, target);
+        self.install_patchset(patchset);
+        let t0 = self.process.ctx.clock.now();
+        while self.process.cursor() < failure.input_index {
+            match self.process.step() {
+                Some(r) if r.is_ok() => {}
+                _ => break,
+            }
+        }
+        let mut served_through = false;
+        if self.process.failure.is_some() {
+            // The replay itself failed en route; drop whatever input it
+            // died on rather than loop.
+            self.process.clear_failure();
+            self.process.skip_current();
+        } else if self.process.cursor() == failure.input_index {
+            if generic_active {
+                // Attempt the poisoned input under generic protection.
+                match self.process.step() {
+                    Some(r) if r.is_ok() => served_through = true,
+                    _ => {
+                        if self.process.failure.is_some() {
+                            self.process.clear_failure();
+                        }
+                        self.process.skip_current();
+                    }
+                }
+            } else {
+                self.process.skip_current();
+            }
+        }
+        self.wall_ns += self.process.ctx.clock.now().saturating_sub(t0) + 80_000;
+        self.resync_without_credit();
+        self.manager.truncate_after(target);
+        self.manager.rearm(&self.process);
+
+        if generic_active {
+            // The generic rung now guards this signature; if it recurs
+            // anyway, the health monitor revokes GENERIC_SITE and the
+            // next descent lands on rung 3.
+            let entry = self.monitor.entry(sig).or_default();
+            entry.sites = vec![GENERIC_SITE];
+        }
+        let (kind, rung) = if served_through {
+            self.degradation.generic_patches += 1;
+            (
+                RecoveryKind::GenericPatched,
+                "generic best-effort patch (rung 2)",
+            )
+        } else {
+            self.degradation.rollback_drops += 1;
+            (RecoveryKind::Dropped, "rollback-and-drop (rung 3)")
+        };
+        let report = BugReport::degraded(&self.program, failure, rung, &fresh, diag_log);
+        RecoveryRecord {
+            kind,
+            diagnosis: None,
+            patches: fresh,
+            recovery_ns: self.wall_ns - wall_at_failure,
+            validation: None,
+            report: Some(report),
+        }
+    }
+
+    /// Cheap in-place descent (crash loops, or no intact checkpoint):
+    /// no rollback, no replay — arm the generic rung so prevention gets
+    /// a chance to break the loop, then drop the poisoned input.
+    fn descend_cheap(&mut self, failure: &FailureRecord, wall_at_failure: u64) -> RecoveryRecord {
+        let sig = self.bug_signature(failure);
+        let fresh = self.arm_generic_rung();
+        if !fresh.is_empty() {
+            let patchset = self.sync_pool_patches();
+            self.install_patchset(patchset);
+            let entry = self.monitor.entry(sig).or_default();
+            entry.sites = vec![GENERIC_SITE];
+        }
+        self.process.clear_failure();
+        self.process.skip_current();
+        self.manager.rearm(&self.process);
+        self.degradation.rollback_drops += 1;
+        RecoveryRecord {
+            kind: RecoveryKind::Dropped,
+            diagnosis: None,
+            patches: fresh,
+            recovery_ns: self.wall_ns - wall_at_failure,
+            validation: None,
+            report: None,
+        }
     }
 }

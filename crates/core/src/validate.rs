@@ -65,6 +65,25 @@ impl ValidationEngine {
         ValidationEngine { iterations }
     }
 
+    /// Fault-aware wrapper around [`ValidationEngine::validate`]: asks
+    /// the plan whether the validation fork dies before producing a
+    /// verdict. `None` means the fork failed — the caller keeps the
+    /// patches (they already survived diagnosis) but gets no
+    /// consistency verdict and no report traces.
+    pub fn try_validate(
+        &self,
+        faults: &fa_faults::FaultPlan,
+        process: &Process,
+        snap: &ProcSnapshot,
+        patches: &PatchSet,
+        until_cursor: usize,
+    ) -> Option<ValidationOutcome> {
+        if faults.should_fail(fa_faults::FaultStage::ValidationFork) {
+            return None;
+        }
+        Some(self.validate(process, snap, patches, until_cursor))
+    }
+
     /// Validates `patches` on a fork of `process` rolled back to `snap`.
     pub fn validate(
         &self,

@@ -200,12 +200,27 @@ fn integrity_monitor_catches_corruption_early() {
     .unwrap();
     let _ = without.run(corruptor_workload(), None);
     let first = without.recoveries.first().expect("a failure occurred");
-    assert_eq!(
+    // A latent corruption 200 inputs old is non-patchable *precisely*:
+    // diagnosis gives up and the degradation ladder falls back to the
+    // program-wide generic rung (or drops the input outright). Either
+    // way, no precise patch is ever learned.
+    assert_ne!(
         first.kind,
-        first_aid_core::runtime::RecoveryKind::Dropped,
-        "a latent corruption 200 inputs old is non-patchable"
+        first_aid_core::runtime::RecoveryKind::Patched,
+        "no precise diagnosis for a latent corruption"
     );
-    assert_eq!(pool.len("silent-corruptor"), 0);
+    assert!(
+        first.patches.iter().all(fa_allocext::Patch::is_generic),
+        "only generic best-effort patches: {:?}",
+        first.patches
+    );
+    assert!(
+        pool.get("silent-corruptor")
+            .patches()
+            .iter()
+            .all(fa_allocext::Patch::is_generic),
+        "no precise patch is pooled"
+    );
 
     // With the monitor sweeping every 20 inputs: caught within 20 inputs
     // of the bug-triggering write.

@@ -48,6 +48,15 @@ impl PreventiveChange {
     }
 }
 
+/// The pseudo call-site of program-wide (generic) patches.
+///
+/// When precise diagnosis fails, the degradation ladder falls back to
+/// best-effort prevention (paper §3: whole-heap padding + delayed
+/// free). Such patches carry this sentinel site; `PatchSet` matches
+/// them against *every* call-site that has no precise patch of its
+/// own. The all-ones frames round-trip exactly through the JSON pool.
+pub const GENERIC_SITE: CallSite = CallSite([u64::MAX; 3]);
+
 /// A runtime patch: a preventive change bound to a call-site.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Patch {
@@ -78,6 +87,23 @@ impl Patch {
         }
     }
 
+    /// Builds a program-wide best-effort patch for `bug`: same
+    /// preventive change, but applied at every call-site (the generic
+    /// rung of the degradation ladder).
+    pub fn generic(bug: BugType) -> Patch {
+        Patch {
+            bug,
+            change: PreventiveChange::for_bug(bug),
+            site: GENERIC_SITE,
+            site_names: vec!["<any call-site>".to_owned()],
+        }
+    }
+
+    /// Returns `true` if this patch applies program-wide.
+    pub fn is_generic(&self) -> bool {
+        self.site == GENERIC_SITE
+    }
+
     /// Returns `true` if this patch fires at allocation call-sites.
     pub fn at_allocation(&self) -> bool {
         matches!(
@@ -94,6 +120,10 @@ pub struct PatchSet {
     patches: Vec<Patch>,
     by_alloc_site: HashMap<CallSite, usize>,
     by_dealloc_site: HashMap<CallSite, usize>,
+    /// Program-wide fallback patches (the generic ladder rung): any
+    /// call-site without a precise patch matches these.
+    generic_alloc: Option<usize>,
+    generic_dealloc: Option<usize>,
 }
 
 impl PatchSet {
@@ -114,7 +144,13 @@ impl PatchSet {
     /// Adds one patch.
     pub fn add(&mut self, patch: Patch) {
         let idx = self.patches.len();
-        if patch.at_allocation() {
+        if patch.is_generic() {
+            if patch.at_allocation() {
+                self.generic_alloc = Some(idx);
+            } else {
+                self.generic_dealloc = Some(idx);
+            }
+        } else if patch.at_allocation() {
             self.by_alloc_site.insert(patch.site, idx);
         } else {
             self.by_dealloc_site.insert(patch.site, idx);
@@ -123,6 +159,7 @@ impl PatchSet {
     }
 
     /// Removes every patch at `site` (used when validation fails).
+    /// Passing [`GENERIC_SITE`] removes the program-wide patches.
     pub fn remove_site(&mut self, site: CallSite) {
         self.patches.retain(|p| p.site != site);
         self.reindex();
@@ -131,8 +168,16 @@ impl PatchSet {
     fn reindex(&mut self) {
         self.by_alloc_site.clear();
         self.by_dealloc_site.clear();
+        self.generic_alloc = None;
+        self.generic_dealloc = None;
         for (idx, p) in self.patches.iter().enumerate() {
-            if p.at_allocation() {
+            if p.is_generic() {
+                if p.at_allocation() {
+                    self.generic_alloc = Some(idx);
+                } else {
+                    self.generic_dealloc = Some(idx);
+                }
+            } else if p.at_allocation() {
                 self.by_alloc_site.insert(p.site, idx);
             } else {
                 self.by_dealloc_site.insert(p.site, idx);
@@ -141,17 +186,29 @@ impl PatchSet {
     }
 
     /// Looks up the patch (if any) matching an allocation at `site`.
+    /// Precise call-site patches win; otherwise the program-wide
+    /// generic patch (if installed) matches everything.
     pub fn match_alloc(&self, site: CallSite) -> Option<(usize, &Patch)> {
         self.by_alloc_site
             .get(&site)
-            .map(|&idx| (idx, &self.patches[idx]))
+            .copied()
+            .or(self.generic_alloc)
+            .map(|idx| (idx, &self.patches[idx]))
     }
 
-    /// Looks up the patch (if any) matching a deallocation at `site`.
+    /// Looks up the patch (if any) matching a deallocation at `site`,
+    /// with the same generic fallback as [`PatchSet::match_alloc`].
     pub fn match_dealloc(&self, site: CallSite) -> Option<(usize, &Patch)> {
         self.by_dealloc_site
             .get(&site)
-            .map(|&idx| (idx, &self.patches[idx]))
+            .copied()
+            .or(self.generic_dealloc)
+            .map(|idx| (idx, &self.patches[idx]))
+    }
+
+    /// Returns `true` if a program-wide (generic) patch is installed.
+    pub fn has_generic(&self) -> bool {
+        self.generic_alloc.is_some() || self.generic_dealloc.is_some()
     }
 
     /// Returns all patches.
@@ -234,6 +291,42 @@ mod tests {
         assert_eq!(set.len(), 1);
         assert!(set.match_alloc(site(1)).is_none());
         assert!(set.match_alloc(site(2)).is_some());
+    }
+
+    #[test]
+    fn generic_patches_match_every_unpatched_site() {
+        let symbols = SymbolTable::new();
+        let mut set = PatchSet::from_patches([
+            Patch::generic(BugType::BufferOverflow),
+            Patch::generic(BugType::DanglingRead),
+        ]);
+        assert!(set.has_generic());
+        // Any site matches the program-wide patches.
+        let (_, pad) = set.match_alloc(site(7)).unwrap();
+        assert!(pad.is_generic());
+        assert_eq!(pad.change, PreventiveChange::AddPadding);
+        let (_, df) = set.match_dealloc(site(42)).unwrap();
+        assert_eq!(df.change, PreventiveChange::DelayFree);
+        // A precise patch shadows the generic one at its own site.
+        set.add(Patch::new(BugType::UninitRead, site(7), &symbols));
+        let (_, precise) = set.match_alloc(site(7)).unwrap();
+        assert!(!precise.is_generic());
+        assert!(set.match_alloc(site(8)).unwrap().1.is_generic());
+        // Removing GENERIC_SITE uninstalls only the program-wide rung.
+        set.remove_site(GENERIC_SITE);
+        assert!(!set.has_generic());
+        assert!(set.match_alloc(site(8)).is_none());
+        assert!(set.match_alloc(site(7)).is_some());
+    }
+
+    #[test]
+    fn generic_patch_serde_roundtrip() {
+        let p = Patch::generic(BugType::BufferOverflow);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Patch = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.site, GENERIC_SITE, "u64::MAX frames survive JSON");
+        assert!(back.is_generic());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod apache;
 pub mod bc;
 pub mod cvs;
+pub mod faults;
 pub mod fleet;
 pub mod m4;
 pub mod mutt;
@@ -31,5 +32,6 @@ pub mod registry;
 pub mod squid;
 pub mod synth;
 
+pub use faults::{fault_scenario, FAULT_SCENARIOS};
 pub use registry::{all_specs, spec_by_key, AppSpec, WorkloadSpec};
 pub use synth::{alloc_intensive_profiles, spec_profiles, SynthApp, SynthProfile};

@@ -18,6 +18,18 @@ pub struct Checkpoint {
     pub dirty_pages: usize,
     /// Input-log cursor at checkpoint time.
     pub cursor: usize,
+    /// Structural checksum of `snap` recorded at checkpoint time.
+    /// `verify()` recomputes the digest; a mismatch means the stored
+    /// snapshot rotted (simulated storage corruption) and the
+    /// checkpoint must not be used as a rollback target.
+    pub checksum: u64,
+}
+
+impl Checkpoint {
+    /// True if the stored snapshot still matches its recorded checksum.
+    pub fn verify(&self) -> bool {
+        self.snap.digest() == self.checksum
+    }
 }
 
 /// Aggregate checkpointing statistics (paper Table 7 inputs).
@@ -99,12 +111,15 @@ impl CheckpointManager {
         let id = self.next_id;
         self.next_id += 1;
         let at_ns = process.ctx.clock.now();
+        let snap = process.snapshot();
+        let checksum = snap.digest();
         self.ring.push_back(Checkpoint {
             id,
             at_ns,
-            snap: process.snapshot(),
+            snap,
             dirty_pages: dirty,
             cursor: process.cursor(),
+            checksum,
         });
         while self.ring.len() > self.max_keep {
             self.ring.pop_front();
@@ -136,6 +151,49 @@ impl CheckpointManager {
         len.checked_sub(k + 1).and_then(|i| self.ring.get(i))
     }
 
+    /// Returns the oldest retained checkpoint.
+    pub fn oldest(&self) -> Option<&Checkpoint> {
+        self.ring.front()
+    }
+
+    /// Flips the stored checksum of the given checkpoint, simulating
+    /// storage rot. Returns `false` if the id is not retained. Test
+    /// and fault-injection hook.
+    pub fn corrupt(&mut self, id: u64) -> bool {
+        match self.ring.iter_mut().find(|c| c.id == id) {
+            Some(c) => {
+                c.checksum ^= 0xdead_beef_dead_beef;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Corrupts the newest retained checkpoint (the usual victim of a
+    /// torn write: the one still in flight). Returns its id.
+    pub fn corrupt_newest(&mut self) -> Option<u64> {
+        let id = self.ring.back()?.id;
+        self.corrupt(id);
+        Some(id)
+    }
+
+    /// Removes every checkpoint whose snapshot fails verification and
+    /// returns their ids (oldest first). Recovery calls this before
+    /// choosing a rollback target so diagnosis only ever sees intact
+    /// checkpoints — falling back to the next-older one on mismatch.
+    pub fn sweep_corrupt(&mut self) -> Vec<u64> {
+        let bad: Vec<u64> = self
+            .ring
+            .iter()
+            .filter(|c| !c.verify())
+            .map(|c| c.id)
+            .collect();
+        if !bad.is_empty() {
+            self.ring.retain(|c| c.verify());
+        }
+        bad
+    }
+
     /// Returns the number of retained checkpoints.
     pub fn len(&self) -> usize {
         self.ring.len()
@@ -152,6 +210,11 @@ impl CheckpointManager {
         let Some(ckpt) = self.ring.iter().find(|c| c.id == id) else {
             return false;
         };
+        // Defense in depth: never restore from a snapshot that fails
+        // its checksum, even if the caller skipped `sweep_corrupt()`.
+        if !ckpt.verify() {
+            return false;
+        }
         process.restore(&ckpt.snap);
         // Reinstating the saved task state: charge a fixed cost plus a
         // per-page share for the page-table swap.
@@ -325,6 +388,46 @@ mod tests {
         let t0 = p.ctx.clock.now();
         mgr.force_checkpoint(&mut p);
         assert!(p.ctx.clock.now() > t0, "checkpoint must cost virtual time");
+    }
+
+    #[test]
+    fn fresh_checkpoints_verify_and_corruption_is_detected() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        p.feed(InputBuilder::op(0).a(64).build());
+        let id = mgr.force_checkpoint(&mut p);
+        assert!(mgr.get(id).unwrap().verify());
+
+        assert!(mgr.corrupt(id));
+        assert!(!mgr.get(id).unwrap().verify());
+        assert!(
+            !mgr.rollback_to(&mut p, id),
+            "rollback must refuse a corrupt checkpoint"
+        );
+        assert!(!mgr.corrupt(999), "unknown id is reported");
+    }
+
+    #[test]
+    fn sweep_corrupt_falls_back_to_older_intact_checkpoints() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            p.feed(InputBuilder::op(0).a(64).build());
+            ids.push(mgr.force_checkpoint(&mut p));
+        }
+        // The two newest rot; the two oldest stay intact.
+        let newest = mgr.corrupt_newest().unwrap();
+        assert_eq!(newest, ids[3]);
+        assert!(mgr.corrupt(ids[2]));
+
+        let swept = mgr.sweep_corrupt();
+        assert_eq!(swept, vec![ids[2], ids[3]]);
+        assert_eq!(mgr.len(), 2);
+        assert_eq!(mgr.nth_newest(0).unwrap().id, ids[1]);
+        assert_eq!(mgr.oldest().unwrap().id, ids[0]);
+        assert!(mgr.rollback_to(&mut p, ids[1]), "fallback target works");
+        assert!(mgr.sweep_corrupt().is_empty(), "idempotent once clean");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Property: *any* seeded fault plan leaves the runtime live. Whatever
+//! combination of pipeline-stage failures is injected, the run neither
+//! panics nor loses accounting — served + dropped == offered.
+
+use fa_apps::{spec_by_key, WorkloadSpec};
+use fa_checkpoint::AdaptiveConfig;
+use fa_faults::{FaultPlan, FaultStage, Injection};
+use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool};
+use proptest::prelude::*;
+
+fn injection() -> impl Strategy<Value = Injection> {
+    prop_oneof![
+        Just(Injection::Off),
+        (1u64..6).prop_map(Injection::EveryNth),
+        (0u32..700).prop_map(Injection::PerMille),
+        prop::collection::vec(0u64..8, 0..3).prop_map(Injection::Nth),
+    ]
+}
+
+fn plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        injection(),
+        injection(),
+        injection(),
+        injection(),
+        injection(),
+    )
+        .prop_map(|(seed, ckpt, reexec, timeout, fork, pool)| {
+            FaultPlan::builder(seed)
+                .inject(FaultStage::CheckpointCorrupt, ckpt)
+                .inject(FaultStage::ReexecFlaky, reexec)
+                .inject(FaultStage::DiagnosisTimeout, timeout)
+                .inject(FaultStage::ValidationFork, fork)
+                .inject(FaultStage::PoolPersistIo, pool)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_fault_plan_leaves_the_runtime_live(plan in plan()) {
+        let spec = spec_by_key("squid").unwrap();
+        let config = FirstAidConfig {
+            adaptive: AdaptiveConfig {
+                base_interval_ns: 20_000_000,
+                max_interval_ns: 320_000_000,
+                ..AdaptiveConfig::default()
+            },
+            max_checkpoints: 200,
+            faults: plan,
+            ..FirstAidConfig::default()
+        };
+        let mut runtime =
+            FirstAidRuntime::launch((spec.build)(), config, PatchPool::in_memory())
+                .expect("launch");
+        let workload = (spec.workload)(&WorkloadSpec::new(120, &[20, 60]));
+        let offered = workload.len();
+        let summary = runtime.run(workload, None);
+        prop_assert_eq!(
+            summary.served + summary.dropped,
+            offered,
+            "input conservation violated: {:?}",
+            summary
+        );
+        prop_assert!(summary.recoveries >= summary.failures);
+    }
+}

@@ -1,0 +1,80 @@
+//! Crash-safety of patch-pool persistence: torn temp files from a died
+//! writer must not corrupt reloads, and injected persistence I/O errors
+//! must degrade the pool to in-memory operation while the last good
+//! on-disk state survives.
+
+use fa_allocext::{BugType, Patch};
+use fa_faults::{FaultPlan, FaultStage, Injection};
+use fa_proc::{CallSite, SymbolTable};
+use first_aid_core::PatchPool;
+
+fn patch(id: u64) -> Patch {
+    Patch::new(
+        BugType::BufferOverflow,
+        CallSite([id, 0, 0]),
+        &SymbolTable::new(),
+    )
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fa-faults-persist-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A writer that dies mid-persist leaves a torn `.tmp-<pid>` file behind.
+/// The loader must ignore it and reload the program's patches from the
+/// last complete `*.patches.json`.
+#[test]
+fn torn_temp_file_does_not_corrupt_reload() {
+    let dir = scratch("torn");
+    {
+        let pool = PatchPool::persistent(&dir).expect("create pool dir");
+        assert_eq!(pool.add("squid", [patch(7)]), 1);
+        assert!(!pool.is_degraded());
+    }
+    // Simulate a crash between "write temp" and "rename into place":
+    // truncated JSON under the temp naming scheme.
+    std::fs::write(dir.join(".squid.patches.json.tmp-9999"), b"[{\"bug\":\"Buf")
+        .expect("write torn temp file");
+
+    let pool = PatchPool::persistent(&dir).expect("reload pool");
+    assert_eq!(pool.len("squid"), 1, "last good file wins");
+    let set = pool.get("squid");
+    assert!(!set.is_empty(), "reloaded patch set is usable");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Injected persistence I/O errors: every write fails, the pool retries,
+/// logs, and degrades to in-memory operation — and a later reload sees
+/// only the last successfully persisted state.
+#[test]
+fn degraded_pool_preserves_last_good_file() {
+    let dir = scratch("degraded");
+    {
+        // Healthy pool persists patch #1.
+        let pool = PatchPool::persistent(&dir).expect("create pool dir");
+        assert_eq!(pool.add("squid", [patch(1)]), 1);
+        assert!(!pool.is_degraded());
+        assert_eq!(pool.io_error_count(), 0);
+    }
+    {
+        // Reopen with every persistence write failing. Adding patch #2
+        // must still succeed in memory; the pool retries the write,
+        // gives up, and marks itself degraded.
+        let faults = FaultPlan::builder(3)
+            .inject(FaultStage::PoolPersistIo, Injection::EveryNth(1))
+            .build();
+        let pool = PatchPool::persistent(&dir)
+            .expect("reopen pool dir")
+            .with_faults(faults);
+        assert_eq!(pool.add("squid", [patch(2)]), 1);
+        assert!(pool.is_degraded(), "pool degraded after exhausted retries");
+        assert!(pool.io_error_count() >= 3, "every attempt was counted");
+        assert_eq!(pool.len("squid"), 2, "in-memory state is complete");
+    }
+    // A fresh reload sees only what was successfully persisted.
+    let pool = PatchPool::persistent(&dir).expect("final reload");
+    assert_eq!(pool.len("squid"), 1, "the degraded write never landed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,206 @@
+//! Acceptance tests for the degradation ladder: seeded faults in
+//! First-Aid's own pipeline must degrade service, never kill it.
+
+use fa_apps::{spec_by_key, WorkloadSpec};
+use fa_checkpoint::AdaptiveConfig;
+use fa_faults::{FaultPlan, FaultStage, Injection};
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, ProcessCtx, Response};
+use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, RecoveryKind};
+
+fn quick_config(faults: FaultPlan) -> FirstAidConfig {
+    FirstAidConfig {
+        adaptive: AdaptiveConfig {
+            base_interval_ns: 20_000_000,
+            max_interval_ns: 320_000_000,
+            ..AdaptiveConfig::default()
+        },
+        // Keep the whole stream's worth of checkpoints so the ladder's
+        // oldest intact checkpoint predates the bug trigger even after
+        // corruption sweeps.
+        max_checkpoints: 400,
+        faults,
+        ..FirstAidConfig::default()
+    }
+}
+
+/// The headline scenario: Apache's dangling read (error-propagation
+/// distance ~250 inputs) while every third checkpoint silently rots AND
+/// the first diagnosis wedges past its deadline. Precise diagnosis is
+/// impossible, so the runtime must serve the remaining stream via the
+/// generic-patch rung: no panic, no unbounded drop streak.
+#[test]
+fn apache_survives_checkpoint_rot_and_wedged_diagnosis() {
+    let spec = spec_by_key("apache").unwrap();
+    let plan = FaultPlan::builder(0xacce97)
+        .inject(FaultStage::CheckpointCorrupt, Injection::EveryNth(3))
+        .inject(FaultStage::DiagnosisTimeout, Injection::Nth(vec![0]))
+        .build();
+    let mut runtime = FirstAidRuntime::launch(
+        (spec.build)(),
+        quick_config(plan.clone()),
+        PatchPool::in_memory(),
+    )
+    .expect("launch apache");
+    let workload = (spec.workload)(&WorkloadSpec::new(400, &[30]));
+    let offered = workload.len();
+    let summary = runtime.run(workload, None);
+
+    // Both injections actually fired.
+    assert!(plan.fired(FaultStage::CheckpointCorrupt) > 0);
+    assert_eq!(plan.fired(FaultStage::DiagnosisTimeout), 1);
+
+    // Liveness: every input is accounted for, almost all are served.
+    assert_eq!(summary.served + summary.dropped, offered);
+    assert!(
+        summary.dropped <= 2,
+        "no unbounded drop streak: {summary:?}"
+    );
+    assert!(!runtime.needs_restart(), "drop streak stays bounded");
+
+    // The ladder descended to the generic rung and it carried the
+    // poisoned input through.
+    let d = &summary.degradation;
+    assert!(d.diagnosis_timeouts >= 1, "wedge was counted: {d:?}");
+    assert!(d.checkpoint_checksum_misses >= 1, "rot was noticed: {d:?}");
+    assert!(
+        d.generic_patches >= 1,
+        "generic rung served the stream: {d:?}"
+    );
+    assert!(runtime
+        .recoveries
+        .iter()
+        .any(|r| r.kind == RecoveryKind::GenericPatched));
+    assert!(
+        runtime.pool().get("apache").has_generic(),
+        "program-wide patches are pooled"
+    );
+}
+
+/// Flaky re-executions: diagnosis retries with backoff and still lands a
+/// precise patch (or descends gracefully); the stream is never lost.
+#[test]
+fn squid_diagnosis_survives_flaky_reexecutions() {
+    let spec = spec_by_key("squid").unwrap();
+    let plan = FaultPlan::builder(0xf1a4)
+        .inject(FaultStage::ReexecFlaky, Injection::PerMille(300))
+        .build();
+    let mut runtime = FirstAidRuntime::launch(
+        (spec.build)(),
+        quick_config(plan.clone()),
+        PatchPool::in_memory(),
+    )
+    .expect("launch squid");
+    let workload = (spec.workload)(&WorkloadSpec::new(160, &[40]));
+    let offered = workload.len();
+    let summary = runtime.run(workload, None);
+    assert_eq!(summary.served + summary.dropped, offered);
+    assert!(plan.fired(FaultStage::ReexecFlaky) > 0, "flakiness fired");
+    assert!(
+        summary.degradation.reexec_retries >= 1,
+        "retries were paid: {:?}",
+        summary.degradation
+    );
+    assert!(summary.dropped <= 2, "{summary:?}");
+}
+
+/// Validation-fork death: the patches stay installed (they survived
+/// diagnosis), but no consistency verdict and no report are filed.
+#[test]
+fn validation_fork_death_keeps_patches_unvalidated() {
+    let spec = spec_by_key("squid").unwrap();
+    let plan = FaultPlan::builder(0x7a11)
+        .inject(FaultStage::ValidationFork, Injection::EveryNth(1))
+        .build();
+    let mut runtime = FirstAidRuntime::launch(
+        (spec.build)(),
+        quick_config(plan.clone()),
+        PatchPool::in_memory(),
+    )
+    .expect("launch squid");
+    let workload = (spec.workload)(&WorkloadSpec::new(120, &[40]));
+    let summary = runtime.run(workload, None);
+    assert_eq!(summary.failures, 1);
+    assert_eq!(summary.dropped, 0, "patched recovery still serves");
+    assert_eq!(summary.degradation.validation_fork_failures, 1);
+    let patched = runtime
+        .recoveries
+        .iter()
+        .find(|r| r.kind == RecoveryKind::Patched)
+        .expect("diagnosis succeeded");
+    assert!(patched.validation.is_none(), "no verdict from a dead fork");
+    assert!(patched.report.is_none(), "no report without validation");
+    assert!(
+        !runtime.pool().is_empty("squid"),
+        "patches kept despite the dead fork"
+    );
+}
+
+/// An overflow the generic rung cannot absorb: 600 bytes past the end
+/// of a 64-byte block, well beyond the program-wide pad (508 per side).
+/// With diagnosis permanently wedged, neither a precise nor a generic
+/// patch can ever hold — exactly the case the health monitor exists for.
+#[derive(Clone, Default)]
+struct WidePen;
+
+impl App for WidePen {
+    fn name(&self) -> &'static str {
+        "wide-pen"
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        ctx.call("serve", |ctx| {
+            let buf = ctx.malloc(64)?;
+            let n = if input.op == 1 { 64 + 600 } else { 64 };
+            ctx.fill(buf, n, 5)?;
+            ctx.free(buf)?;
+            Ok(Response::bytes(64))
+        })
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+/// Health monitor: when injected timeouts force the generic rung and the
+/// signature keeps recurring anyway, the generic patches are revoked and
+/// the runtime lands on pure rollback-and-drop.
+#[test]
+fn recurring_signature_revokes_and_escalates() {
+    // Every diagnosis wedges: precise patching is never available.
+    let plan = FaultPlan::builder(0xdead)
+        .inject(FaultStage::DiagnosisTimeout, Injection::EveryNth(1))
+        .build();
+    let mut config = quick_config(plan);
+    config.restart_after_drops = 3;
+    let mut runtime =
+        FirstAidRuntime::launch(Box::new(WidePen), config, PatchPool::in_memory()).expect("launch");
+    // Triggers spaced > 20 apart so the crash-loop guard does not mask
+    // the monitor's recurrence counter.
+    let workload: Vec<Input> = (0..260)
+        .map(|i| {
+            InputBuilder::op(u32::from(i == 50 || i == 120 || i == 190))
+                .gap_us(200)
+                .build()
+        })
+        .collect();
+    let offered = workload.len();
+    let summary = runtime.run(workload, None);
+    assert_eq!(summary.served + summary.dropped, offered);
+    let d = &summary.degradation;
+    assert!(
+        d.generic_patches + d.rollback_drops >= 2,
+        "the ladder kept descending: {d:?}"
+    );
+    assert!(
+        d.patch_revocations >= 1,
+        "ineffective generic patches were revoked: {d:?}"
+    );
+    assert!(
+        runtime
+            .pool()
+            .is_revoked("wide-pen", first_aid_core::GENERIC_SITE),
+        "the generic rung is tombstoned"
+    );
+    assert!(d.rollback_drops >= 1, "ladder landed on rung 3: {d:?}");
+}

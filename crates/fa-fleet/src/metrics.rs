@@ -1,5 +1,6 @@
 //! Fleet metrics: per-worker reports and the fleet-wide aggregate.
 
+use first_aid_core::DegradationMetrics;
 use serde::Serialize;
 
 /// Everything one worker measured over a fleet run.
@@ -38,6 +39,9 @@ pub struct WorkerReport {
     pub wall_ns: u64,
     /// Total bytes delivered.
     pub bytes: u64,
+    /// Degradation-ladder counters, cumulative across relaunches (pool
+    /// persistence health is reported fleet-wide, not per worker).
+    pub degradation: DegradationMetrics,
     /// `(window start s, MB/s)` throughput series.
     pub series: Vec<(f64, f64)>,
 }
@@ -74,6 +78,9 @@ pub struct FleetReport {
     pub time_to_fleet_immunity_ns: Option<u64>,
     /// Sum of worker `bytes`.
     pub bytes: u64,
+    /// Merged degradation-ladder counters; the supervisor overlays the
+    /// shared pool's persistence health after aggregation.
+    pub degradation: DegradationMetrics,
 }
 
 impl FleetReport {
@@ -154,7 +161,12 @@ impl FleetMetrics {
             None
         };
         let sum = |f: fn(&WorkerReport) -> usize| self.workers.iter().map(f).sum();
+        let mut degradation = DegradationMetrics::default();
+        for w in &self.workers {
+            degradation.merge(&w.degradation);
+        }
         FleetReport {
+            degradation,
             served: sum(|w| w.served),
             failures: sum(|w| w.failures),
             recoveries: sum(|w| w.recoveries),

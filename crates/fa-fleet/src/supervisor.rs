@@ -218,7 +218,12 @@ impl Fleet {
                 metrics.push(report);
             }
         }
-        metrics.finish()
+        let mut report = metrics.finish();
+        // Pool persistence health lives on the shared pool, not on any
+        // one worker; overlay it after aggregation.
+        report.degradation.pool_io_errors = self.pool.io_error_count();
+        report.degradation.pool_degraded = self.pool.is_degraded();
+        report
     }
 }
 

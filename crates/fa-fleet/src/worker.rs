@@ -7,6 +7,8 @@ use std::sync::Arc;
 use fa_proc::Input;
 use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
 
+use first_aid_core::DegradationMetrics;
+
 use crate::metrics::WorkerReport;
 use crate::supervisor::BackoffConfig;
 
@@ -30,6 +32,7 @@ struct Folded {
     patched: usize,
     dropped: usize,
     rollbacks: usize,
+    degradation: DegradationMetrics,
 }
 
 fn fold(runtime: &FirstAidRuntime, into: &mut Folded) {
@@ -43,6 +46,12 @@ fn fold(runtime: &FirstAidRuntime, into: &mut Folded) {
         .filter_map(|r| r.diagnosis.as_ref())
         .map(|d| d.rollbacks)
         .sum::<usize>();
+    // Pool persistence health is fleet-wide (the pool is shared), so it
+    // is overlaid by the supervisor instead of summed per worker.
+    let mut d = runtime.degradation();
+    d.pool_io_errors = 0;
+    d.pool_degraded = false;
+    into.degradation.merge(&d);
 }
 
 /// Drains `jobs` through one supervised process until the channel closes.
@@ -120,16 +129,22 @@ pub(crate) fn run(
             report.immunized_at_ns = Some(wall_base + runtime.wall_ns());
         }
 
-        if params.recovery_budget > 0 && runtime.health().recoveries >= params.recovery_budget {
-            // Degraded fallback: this process has spent its recovery
-            // budget; stop diagnosing and relaunch it wholesale (the
+        let budget_spent =
+            params.recovery_budget > 0 && runtime.health().recoveries >= params.recovery_budget;
+        if budget_spent || runtime.needs_restart() {
+            // Degraded fallback (ladder rung 4, drop-and-restart): either
+            // this process has spent its recovery budget, or its drop
+            // streak shows that even the generic rung is not holding.
+            // Throw the process away and relaunch it wholesale (the
             // restart baseline as last resort). Patches it contributed
-            // stay in the pool and are re-installed at launch.
+            // stay in the pool and are re-installed at launch; revoked
+            // sites stay tombstoned.
             fold(&runtime, &mut folded);
             wall_base += runtime.wall_ns() + params.restart_cost_ns;
             bytes_base += runtime.process().bytes_delivered;
             runtime = launch();
             report.restarts += 1;
+            folded.degradation.restarts += 1;
             consecutive_failures = 0;
         }
 
@@ -144,6 +159,7 @@ pub(crate) fn run(
     report.patched = folded.patched;
     report.dropped = folded.dropped;
     report.rollbacks = folded.rollbacks;
+    report.degradation = folded.degradation;
     report.wall_ns = wall_base + runtime.wall_ns();
     report.bytes = bytes_base + runtime.process().bytes_delivered;
     report.series = sampler.series();

@@ -92,6 +92,28 @@ impl Clone for CtxSnapshot {
     }
 }
 
+impl CtxSnapshot {
+    /// A cheap structural checksum over the snapshot: virtual clock,
+    /// timing seed, and memory shape, mixed through SplitMix64. Two
+    /// snapshots of diverged contexts collide only accidentally; a
+    /// snapshot whose stored checksum no longer matches its `digest()`
+    /// has rotted (fa-checkpoint uses this to detect corruption).
+    pub fn digest(&self) -> u64 {
+        let mut h = mix64(0xfa1d ^ self.clock.now());
+        h = mix64(h ^ self.timing_seed);
+        h = mix64(h ^ self.mem.page_count() as u64);
+        mix64(h ^ self.mem.referenced_bytes())
+    }
+}
+
+/// SplitMix64 finalizer used by the snapshot digests.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 impl ProcessCtx {
     /// Creates a context with a fresh memory, heap, and plain allocator.
     pub fn new(heap_limit: u64) -> Self {

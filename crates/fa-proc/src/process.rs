@@ -55,6 +55,17 @@ impl ProcSnapshot {
     pub fn cursor(&self) -> usize {
         self.cursor
     }
+
+    /// A cheap structural checksum of the snapshot (context digest
+    /// mixed with the cursor). Stored alongside checkpoints so that
+    /// corruption — simulated storage rot — is detectable on rollback.
+    pub fn digest(&self) -> u64 {
+        self.ctx
+            .digest()
+            .rotate_left(17)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (self.cursor as u64).wrapping_add(0x94d0_49bb_1331_11eb)
+    }
 }
 
 /// A simulated process under (or before) First-Aid supervision.
