@@ -1,0 +1,44 @@
+//! Wall-clock performance benchmark. Writes `results/perf.json`.
+//!
+//! `--check` is the CI regression gate: it re-runs the measurements
+//! (scaled-down throughput), compares them against the committed
+//! baseline in `results/perf.json`, enforces the ≥2× virtual-time
+//! speedup of parallel diagnosis, and exits nonzero on any violation
+//! without touching the baseline.
+
+use fa_bench::perf;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let report = perf::measure(check);
+    println!("{}", perf::render(&report));
+    if check {
+        let baseline: Option<perf::PerfReport> = std::fs::read_to_string("results/perf.json")
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok());
+        if baseline.is_none() {
+            eprintln!(
+                "warning: no readable baseline at results/perf.json; only absolute gates apply"
+            );
+        }
+        let violations = perf::check(baseline.as_ref(), &report);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("perf regression: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("perf bench --check: no regressions");
+        return;
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            std::fs::create_dir_all("results").ok();
+            match std::fs::write("results/perf.json", json) {
+                Ok(()) => println!("wrote results/perf.json"),
+                Err(e) => eprintln!("failed to write results/perf.json: {e}"),
+            }
+        }
+        Err(e) => eprintln!("failed to serialize results: {e}"),
+    }
+}

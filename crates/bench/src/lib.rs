@@ -16,6 +16,7 @@
 //! | [`fig6`]   | Fig. 6 — normal-execution time overhead |
 //! | [`fleet`]  | Fleet immunization — shared patch pool vs per-worker ablation |
 //! | [`faults`] | Fault injection — pipeline-stage failures and the degradation ladder |
+//! | [`perf`]   | Wall-clock performance + parallel-diagnosis speedup regression gate |
 
 pub mod ablation;
 pub mod faults;
@@ -23,6 +24,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fleet;
+pub mod perf;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,348 @@
+//! Wall-clock performance benchmark and regression gate.
+//!
+//! Unlike the paper-table benches (which report *virtual* time from the
+//! simulated clock), this module measures the real wall-clock cost of
+//! the simulator itself — normal-run throughput per application, the
+//! snapshot/restore hot path, and end-to-end diagnosis latency — plus
+//! the deterministic virtual-time speedup of the parallel speculative
+//! diagnosis scheduler. The numbers land in `results/perf.json`; CI
+//! replays the measurements with `--check` and fails on regression
+//! against the committed baseline.
+//!
+//! Two kinds of gate:
+//!
+//! * **Virtual time** is deterministic (it comes from the simulated
+//!   clock), so the thresholds are tight: diagnosis must stay within
+//!   25% of the baseline, and the parallel scheduler must keep a ≥2×
+//!   virtual-time speedup over the sequential engine on Apache and
+//!   Squid.
+//! * **Wall-clock** numbers vary with the machine and load, so the
+//!   thresholds are deliberately generous (throughput may drop to 35%
+//!   of baseline, snapshot/restore may grow 2.5×) — they catch
+//!   order-of-magnitude regressions like an accidentally quadratic hot
+//!   path, not noise.
+
+use std::time::Instant;
+
+use fa_allocext::ExtAllocator;
+use fa_apps::{all_specs, spec_by_key, AppSpec, WorkloadSpec};
+use fa_checkpoint::{AdaptiveConfig, CheckpointManager};
+use fa_proc::{Process, ProcessCtx};
+use first_aid_core::{DiagnosisEngine, DiagnosisOutcome, EngineConfig, FaultPlan};
+use serde::{Deserialize, Serialize};
+
+/// Wave width used for the parallel diagnosis measurements.
+pub const PARALLELISM: usize = 8;
+
+/// Normal-run throughput of one application (no bug triggers).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppThroughput {
+    /// Application key.
+    pub app: String,
+    /// Inputs fed.
+    pub inputs: usize,
+    /// Wall-clock time for the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Throughput in inputs per wall-clock second.
+    pub inputs_per_sec: f64,
+}
+
+/// Wall-clock cost of the checkpoint hot path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SnapshotCost {
+    /// Measurement cycles averaged over.
+    pub cycles: usize,
+    /// Mean wall-clock cost of taking one checkpoint, in microseconds.
+    pub snapshot_us: f64,
+    /// Mean wall-clock cost of one rollback, in microseconds.
+    pub restore_us: f64,
+}
+
+/// Sequential-vs-parallel diagnosis latency for one application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiagnosisLatency {
+    /// Application key.
+    pub app: String,
+    /// Wave width of the parallel run.
+    pub parallelism: usize,
+    /// Wall-clock latency of the sequential diagnosis, in milliseconds.
+    pub sequential_wall_ms: f64,
+    /// Wall-clock latency of the parallel diagnosis, in milliseconds.
+    pub parallel_wall_ms: f64,
+    /// Virtual time charged by the sequential diagnosis, in milliseconds.
+    pub sequential_virtual_ms: f64,
+    /// Virtual time charged by the parallel diagnosis, in milliseconds.
+    pub parallel_virtual_ms: f64,
+    /// `sequential_virtual_ms / parallel_virtual_ms` — the deterministic
+    /// speedup of the wave scheduler (the gated quantity).
+    pub virtual_speedup: f64,
+    /// Rollback/re-execution trials (identical in both runs by the
+    /// determinism property).
+    pub rollbacks: usize,
+    /// Speculative trials launched by the parallel run.
+    pub speculative_trials: usize,
+    /// Speculative results consumed by the parallel run.
+    pub speculative_hits: usize,
+    /// Waves that ran with at least one speculative trial.
+    pub parallel_waves: usize,
+}
+
+/// The full benchmark report (`results/perf.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Normal-run throughput, one row per application.
+    pub throughput: Vec<AppThroughput>,
+    /// Checkpoint hot-path cost.
+    pub snapshot: SnapshotCost,
+    /// Diagnosis latency, sequential vs parallel.
+    pub diagnosis: Vec<DiagnosisLatency>,
+}
+
+fn launch(spec: &AppSpec, heap: u64) -> Process {
+    let mut ctx = ProcessCtx::new(heap);
+    ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+    Process::launch((spec.build)(), ctx).unwrap()
+}
+
+/// Feeds `n` trigger-free inputs and reports the wall-clock rate.
+fn measure_throughput(spec: &AppSpec, n: usize) -> AppThroughput {
+    let mut p = launch(spec, 1 << 28);
+    let w = (spec.workload)(&WorkloadSpec::new(n, &[]));
+    let t = Instant::now();
+    for input in w {
+        assert!(
+            p.feed(input).is_ok(),
+            "{}: trigger-free workload must not fail",
+            spec.key
+        );
+    }
+    let wall = t.elapsed().as_secs_f64();
+    AppThroughput {
+        app: spec.key.to_owned(),
+        inputs: n,
+        wall_ms: wall * 1e3,
+        inputs_per_sec: n as f64 / wall,
+    }
+}
+
+/// Times the checkpoint/rollback hot path on a warmed-up Apache process.
+fn measure_snapshot(cycles: usize) -> SnapshotCost {
+    let spec = spec_by_key("apache").unwrap();
+    let mut p = launch(&spec, 1 << 28);
+    let mut mgr = CheckpointManager::new(AdaptiveConfig::default(), 16);
+    let w = (spec.workload)(&WorkloadSpec::new(200 + cycles * 10, &[]));
+    let mut inputs = w.into_iter();
+    for _ in 0..200 {
+        assert!(p.feed(inputs.next().unwrap()).is_ok());
+    }
+    let (mut snap_ns, mut rest_ns) = (0u128, 0u128);
+    for _ in 0..cycles {
+        for _ in 0..10 {
+            assert!(p.feed(inputs.next().unwrap()).is_ok());
+        }
+        let t = Instant::now();
+        let id = mgr.force_checkpoint(&mut p);
+        snap_ns += t.elapsed().as_nanos();
+        let t = Instant::now();
+        assert!(mgr.rollback_to(&mut p, id));
+        rest_ns += t.elapsed().as_nanos();
+    }
+    SnapshotCost {
+        cycles,
+        snapshot_us: snap_ns as f64 / cycles as f64 / 1e3,
+        restore_us: rest_ns as f64 / cycles as f64 / 1e3,
+    }
+}
+
+/// Drives `spec` to its failure with checkpoints spaced so phase 1 can
+/// reach a pre-trigger checkpoint within its search budget.
+fn build_failed(spec: &AppSpec) -> (Process, CheckpointManager) {
+    let mut p = launch(spec, 1 << 28);
+    let mut mgr = CheckpointManager::new(AdaptiveConfig::default(), 16);
+    mgr.force_checkpoint(&mut p);
+    let w = (spec.workload)(&WorkloadSpec::new(600, &[100]));
+    let mut ok = 0usize;
+    for input in w {
+        if !p.feed(input).is_ok() {
+            break;
+        }
+        ok += 1;
+        if ok.is_multiple_of(40) {
+            mgr.force_checkpoint(&mut p);
+        }
+    }
+    assert!(
+        p.failure.is_some(),
+        "{}: the trigger input must fail the process",
+        spec.key
+    );
+    (p, mgr)
+}
+
+fn diagnose(
+    spec: &AppSpec,
+    parallelism: usize,
+) -> (f64, first_aid_core::Diagnosis, usize, usize, usize) {
+    let (mut p, mgr) = build_failed(spec);
+    let config = EngineConfig {
+        parallelism,
+        ..EngineConfig::default()
+    };
+    let engine = DiagnosisEngine::with_faults(config, FaultPlan::none());
+    let t = Instant::now();
+    let outcome = engine.diagnose(&mut p, &mgr);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let d = match outcome {
+        DiagnosisOutcome::Diagnosed(d) => d,
+        other => panic!("{}: diagnosis must succeed, got {other:?}", spec.key),
+    };
+    (
+        wall_ms,
+        d,
+        engine.speculative_trials(),
+        engine.speculative_hits(),
+        engine.parallel_waves(),
+    )
+}
+
+/// Measures sequential vs parallel diagnosis latency for one app.
+fn measure_diagnosis(key: &str) -> DiagnosisLatency {
+    let spec = spec_by_key(key).unwrap();
+    let (seq_wall, seq_d, _, _, _) = diagnose(&spec, 1);
+    let (par_wall, par_d, launched, hits, waves) = diagnose(&spec, PARALLELISM);
+    assert_eq!(
+        seq_d.rollbacks, par_d.rollbacks,
+        "{key}: parallelism changed the rollback count"
+    );
+    let seq_virtual_ms = seq_d.elapsed_ns as f64 / 1e6;
+    let par_virtual_ms = par_d.elapsed_ns as f64 / 1e6;
+    DiagnosisLatency {
+        app: key.to_owned(),
+        parallelism: PARALLELISM,
+        sequential_wall_ms: seq_wall,
+        parallel_wall_ms: par_wall,
+        sequential_virtual_ms: seq_virtual_ms,
+        parallel_virtual_ms: par_virtual_ms,
+        virtual_speedup: seq_virtual_ms / par_virtual_ms,
+        rollbacks: seq_d.rollbacks,
+        speculative_trials: launched,
+        speculative_hits: hits,
+        parallel_waves: waves,
+    }
+}
+
+/// Runs the full benchmark. `quick` scales down the throughput runs
+/// (the rate stays comparable to a full-size baseline).
+pub fn measure(quick: bool) -> PerfReport {
+    let n = if quick { 1_500 } else { 3_000 };
+    let throughput = all_specs()
+        .iter()
+        .map(|s| measure_throughput(s, n))
+        .collect();
+    let snapshot = measure_snapshot(if quick { 20 } else { 50 });
+    let diagnosis = ["apache", "squid"]
+        .iter()
+        .map(|k| measure_diagnosis(k))
+        .collect();
+    PerfReport {
+        throughput,
+        snapshot,
+        diagnosis,
+    }
+}
+
+/// Compares `current` against `baseline`, returning the violations.
+///
+/// The ≥2× virtual-speedup gate is absolute (it holds with or without a
+/// baseline); the remaining gates need a baseline to compare against.
+pub fn check(baseline: Option<&PerfReport>, current: &PerfReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for d in &current.diagnosis {
+        if d.virtual_speedup < 2.0 {
+            violations.push(format!(
+                "{}: parallel diagnosis speedup {:.2}x is below the 2x gate",
+                d.app, d.virtual_speedup
+            ));
+        }
+    }
+    let Some(base) = baseline else {
+        return violations;
+    };
+    for cur in &current.throughput {
+        if let Some(b) = base.throughput.iter().find(|b| b.app == cur.app) {
+            if cur.inputs_per_sec < b.inputs_per_sec * 0.35 {
+                violations.push(format!(
+                    "{}: throughput {:.0}/s fell below 35% of baseline {:.0}/s",
+                    cur.app, cur.inputs_per_sec, b.inputs_per_sec
+                ));
+            }
+        }
+    }
+    if current.snapshot.snapshot_us > base.snapshot.snapshot_us * 2.5 {
+        violations.push(format!(
+            "snapshot cost {:.1}us exceeds 2.5x baseline {:.1}us",
+            current.snapshot.snapshot_us, base.snapshot.snapshot_us
+        ));
+    }
+    if current.snapshot.restore_us > base.snapshot.restore_us * 2.5 {
+        violations.push(format!(
+            "restore cost {:.1}us exceeds 2.5x baseline {:.1}us",
+            current.snapshot.restore_us, base.snapshot.restore_us
+        ));
+    }
+    for cur in &current.diagnosis {
+        if let Some(b) = base.diagnosis.iter().find(|b| b.app == cur.app) {
+            for (what, now, then) in [
+                (
+                    "sequential",
+                    cur.sequential_virtual_ms,
+                    b.sequential_virtual_ms,
+                ),
+                ("parallel", cur.parallel_virtual_ms, b.parallel_virtual_ms),
+            ] {
+                if now > then * 1.25 {
+                    violations.push(format!(
+                        "{}: {what} diagnosis virtual time {now:.2}ms exceeds \
+                         1.25x baseline {then:.2}ms",
+                        cur.app
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Renders the report as a human-readable table.
+pub fn render(r: &PerfReport) -> String {
+    let mut out = String::from("Normal-run throughput (wall clock)\n");
+    for t in &r.throughput {
+        out.push_str(&format!(
+            "  {:<12} {:>6} inputs  {:>9.1} ms  {:>10.0} inputs/s\n",
+            t.app, t.inputs, t.wall_ms, t.inputs_per_sec
+        ));
+    }
+    out.push_str(&format!(
+        "Checkpoint hot path ({} cycles): snapshot {:.1} us, restore {:.1} us\n",
+        r.snapshot.cycles, r.snapshot.snapshot_us, r.snapshot.restore_us
+    ));
+    out.push_str("Diagnosis latency, sequential vs parallel\n");
+    for d in &r.diagnosis {
+        out.push_str(&format!(
+            "  {:<12} virtual {:>8.2} -> {:>8.2} ms ({:.2}x, width {})  \
+             wall {:>7.1} -> {:>7.1} ms  {} rollbacks, {} waves, {}/{} spec hits\n",
+            d.app,
+            d.sequential_virtual_ms,
+            d.parallel_virtual_ms,
+            d.virtual_speedup,
+            d.parallelism,
+            d.sequential_wall_ms,
+            d.parallel_wall_ms,
+            d.rollbacks,
+            d.parallel_waves,
+            d.speculative_hits,
+            d.speculative_trials,
+        ));
+    }
+    out
+}

@@ -6,9 +6,26 @@
 //! deallocation parameters for overflow / dangling write / double free, and
 //! by O(M·log N) binary search over call-sites for dangling read and
 //! uninitialized read.
+//!
+//! # Parallel speculative trials
+//!
+//! With [`EngineConfig::parallelism`] > 1 the engine runs *waves* of
+//! rollback/re-execution trials concurrently. Every trial is a pure
+//! function of its [`TrialSpec`] (re-execution always begins with a
+//! rollback, so no state leaks between trials), which makes it sound to
+//! execute the trials the sequential algorithm *would* run next — both
+//! branches of upcoming decisions — speculatively on forked processes
+//! restored from cloned checkpoint snapshots (cheap: COW `Arc` clones per
+//! page). The driver then consumes results from the wave cache in the
+//! exact sequential order; a prediction miss discards the cache and starts
+//! a new wave. Virtual time is charged as the running *maximum* over the
+//! trials of a wave rather than their sum, modelling concurrent execution;
+//! every other ledger quantity (rollback count, log, fault-plan
+//! consultation order, and the resulting [`Diagnosis`]) is identical to
+//! the sequential engine's.
 
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, Patch};
 use fa_checkpoint::CheckpointManager;
@@ -41,6 +58,12 @@ pub struct EngineConfig {
     pub reexec_retries: u32,
     /// Base backoff charged per flaky retry; doubles per attempt.
     pub retry_backoff_ns: u64,
+    /// Width of a speculative trial wave (worker threads running
+    /// independent rollback/re-execution trials concurrently). `1`
+    /// reproduces the sequential engine byte for byte; larger widths
+    /// produce the identical [`Diagnosis`] while charging less virtual
+    /// time (max over a wave instead of the sum).
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +76,7 @@ impl Default for EngineConfig {
             deadline_ns: 120_000_000_000,
             reexec_retries: 2,
             retry_backoff_ns: 2_000_000,
+            parallelism: 1,
         }
     }
 }
@@ -123,14 +147,43 @@ impl Diagnosis {
     }
 }
 
+/// A fully-specified re-execution trial: everything that determines a
+/// [`RunReport`]. Re-executions always begin with a rollback, so a trial's
+/// outcome is a pure function of this spec — the property that makes
+/// speculative execution sound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TrialSpec {
+    ckpt_id: u64,
+    plan: ChangePlan,
+    mark: bool,
+    timing_seed: u64,
+    until: usize,
+}
+
+/// Results of the most recent speculative wave, keyed by trial spec.
+#[derive(Default)]
+struct SpecCache {
+    entries: Vec<(TrialSpec, RunReport)>,
+    /// Virtual time already charged for the current wave. Committing a
+    /// trial charges only the increment over this running maximum, so a
+    /// fully-consumed wave costs `max` over its trials instead of the sum
+    /// — the trials ran concurrently.
+    charged: u64,
+}
+
 /// The diagnosis engine. Almost stateless; state lives in the process,
 /// the checkpoint manager, and the returned [`Diagnosis`] — the engine
-/// itself only tracks the flaky-retry count of the current diagnosis
-/// and holds the fault plan it consults before each re-execution.
+/// itself only tracks the flaky-retry and speculation counters of the
+/// current diagnosis and holds the fault plan it consults before each
+/// committed re-execution.
 pub struct DiagnosisEngine {
     config: EngineConfig,
     faults: FaultPlan,
     retries: Cell<usize>,
+    spec_launched: Cell<usize>,
+    spec_hits: Cell<usize>,
+    spec_wasted: Cell<usize>,
+    waves: Cell<usize>,
 }
 
 struct Ledger {
@@ -158,12 +211,36 @@ impl DiagnosisEngine {
             config,
             faults,
             retries: Cell::new(0),
+            spec_launched: Cell::new(0),
+            spec_hits: Cell::new(0),
+            spec_wasted: Cell::new(0),
+            waves: Cell::new(0),
         }
     }
 
     /// Flaky re-executions retried so far by this engine.
     pub fn retries_used(&self) -> usize {
         self.retries.get()
+    }
+
+    /// Speculative trials launched by the parallel scheduler.
+    pub fn speculative_trials(&self) -> usize {
+        self.spec_launched.get()
+    }
+
+    /// Speculative results consumed by later diagnosis steps.
+    pub fn speculative_hits(&self) -> usize {
+        self.spec_hits.get()
+    }
+
+    /// Speculative results discarded (mispredicted or superseded).
+    pub fn speculative_wasted(&self) -> usize {
+        self.spec_wasted.get()
+    }
+
+    /// Waves that ran with at least one speculative trial.
+    pub fn parallel_waves(&self) -> usize {
+        self.waves.get()
     }
 
     /// True once the ledger has consumed the diagnosis deadline.
@@ -197,6 +274,7 @@ impl DiagnosisEngine {
                 failure.at_ns as f64 / 1e9
             )],
         };
+        let mut cache = SpecCache::default();
 
         // Injected wedge: the whole diagnosis hangs and blows its
         // deadline without producing anything.
@@ -232,16 +310,18 @@ impl DiagnosisEngine {
             };
         };
         let newest_id = newest.id;
-        let r = self.run(
-            process,
-            manager,
-            newest_id,
-            ChangePlan::none(),
-            false,
-            0xfa11,
+        let spec = TrialSpec {
+            ckpt_id: newest_id,
+            plan: ChangePlan::none(),
+            mark: false,
+            timing_seed: 0xfa11,
             until,
-        );
-        ledger.charge(&r);
+        };
+        // Speculate the deterministic branch: phase 1 at the newest
+        // checkpoint, then the phase-2 probe chain assuming it survives.
+        let mut tail = vec![Self::phase1_spec(newest_id, until)];
+        tail.extend(Self::phase2_tail(newest_id, &BugType::ALL, &[], until));
+        let r = self.fetch(process, manager, &mut cache, &mut ledger, spec, tail);
         if r.passed {
             ledger.log.push(
                 "plain re-execution with timing changes passed: non-deterministic bug".into(),
@@ -275,12 +355,18 @@ impl DiagnosisEngine {
                 break;
             };
             let id = ckpt.id;
-            let plan = ChangePlan {
-                heap_marking: true,
-                ..ChangePlan::all_preventive()
-            };
-            let r = self.run(process, manager, id, plan, true, 0, until);
-            ledger.charge(&r);
+            let spec = Self::phase1_spec(id, until);
+            // Speculate both branches: this checkpoint fails (try the
+            // older ones) and this checkpoint survives (probe here).
+            let mut tail: Vec<TrialSpec> = Vec::new();
+            for kk in k + 1..self.config.max_checkpoint_tries {
+                match manager.nth_newest(kk) {
+                    Some(c) => tail.push(Self::phase1_spec(c.id, until)),
+                    None => break,
+                }
+            }
+            tail.extend(Self::phase2_tail(id, &BugType::ALL, &[], until));
+            let r = self.fetch(process, manager, &mut cache, &mut ledger, spec, tail);
             if r.passed && !r.mark_corrupt() {
                 ledger.log.push(format!(
                     "phase 1: checkpoint {id} (-{k}) survives with all preventive changes \
@@ -324,14 +410,17 @@ impl DiagnosisEngine {
                     log: ledger.log,
                 };
             }
-            let prevent: Vec<BugType> = su
-                .iter()
-                .chain(si.iter().map(|d| &d.bug))
-                .copied()
-                .collect();
-            let plan = ChangePlan::probe(probe_bug, &prevent);
-            let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
-            ledger.charge(&r);
+            let si_bugs: Vec<BugType> = si.iter().map(|d| d.bug).collect();
+            let prevent: Vec<BugType> = su.iter().chain(si_bugs.iter()).copied().collect();
+            let spec = TrialSpec {
+                ckpt_id,
+                plan: ChangePlan::probe(probe_bug, &prevent),
+                mark: false,
+                timing_seed: 0,
+                until,
+            };
+            let tail = Self::phase2_tail(ckpt_id, &su, &si_bugs, until);
+            let r = self.fetch(process, manager, &mut cache, &mut ledger, spec, tail);
             let manifested = Self::manifested(probe_bug, &r);
             ledger.log.push(format!(
                 "phase 2: probe {probe_bug}: {}",
@@ -354,6 +443,7 @@ impl DiagnosisEngine {
                     let sites = self.binary_search_sites(
                         process,
                         manager,
+                        &mut cache,
                         ckpt_id,
                         probe_bug,
                         &prevent_rest,
@@ -375,15 +465,11 @@ impl DiagnosisEngine {
 
                 // Coverage check: preventive for Si, exposing for Su.
                 if !su.is_empty() {
-                    let mut plan = ChangePlan::none();
-                    for d in &si {
-                        *plan.mode_mut(d.bug) = Mode::Prevent;
-                    }
-                    for &b in &su {
-                        *plan.mode_mut(b) = Mode::Expose;
-                    }
-                    let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
-                    ledger.charge(&r);
+                    let si_bugs: Vec<BugType> = si.iter().map(|d| d.bug).collect();
+                    let spec = Self::coverage_spec(ckpt_id, &su, &si_bugs, until);
+                    // Residue branch: the probe chain continues.
+                    let tail = Self::phase2_tail(ckpt_id, &su, &si_bugs, until);
+                    let r = self.fetch(process, manager, &mut cache, &mut ledger, spec, tail);
                     if r.passed && r.manifests.is_empty() {
                         ledger
                             .log
@@ -425,6 +511,7 @@ impl DiagnosisEngine {
         &self,
         process: &mut Process,
         manager: &CheckpointManager,
+        cache: &mut SpecCache,
         ckpt_id: u64,
         bug: BugType,
         prevent: &[BugType],
@@ -454,8 +541,22 @@ impl DiagnosisEngine {
             let except: HashSet<CallSite> = identified.iter().copied().collect();
             let mut plan = ChangePlan::probe(bug, prevent);
             *plan.mode_mut(bug) = Mode::ExposeExcept(except);
-            let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
-            ledger.charge(&r);
+            let spec = TrialSpec {
+                ckpt_id,
+                plan,
+                mark: false,
+                timing_seed: 0,
+                until,
+            };
+            // Speculate the bisection tree over the current candidate
+            // view (a site refresh below can invalidate the prediction).
+            let predicted: Vec<CallSite> = candidates
+                .iter()
+                .filter(|s| !identified.contains(*s))
+                .copied()
+                .collect();
+            let tail = Self::bisect_tail(bug, prevent, ckpt_id, until, &predicted, &identified);
+            let r = self.fetch(process, manager, cache, ledger, spec, tail);
             if !Self::manifested(bug, &r) {
                 break;
             }
@@ -486,8 +587,15 @@ impl DiagnosisEngine {
                 let half_set: HashSet<CallSite> = half.iter().copied().collect();
                 let mut plan = ChangePlan::probe(bug, prevent);
                 *plan.mode_mut(bug) = Mode::ExposeOnly(half_set);
-                let r = self.run(process, manager, ckpt_id, plan, false, 0, until);
-                ledger.charge(&r);
+                let spec = TrialSpec {
+                    ckpt_id,
+                    plan,
+                    mark: false,
+                    timing_seed: 0,
+                    until,
+                };
+                let tail = Self::bisect_tail(bug, prevent, ckpt_id, until, &range, &identified);
+                let r = self.fetch(process, manager, cache, ledger, spec, tail);
                 if Self::manifested(bug, &r) {
                     range = half;
                 } else {
@@ -546,23 +654,321 @@ impl DiagnosisEngine {
         sites
     }
 
-    /// One re-execution, with bounded retry-with-backoff against flaky
-    /// iterations: if the fault plan declares this re-execution flaky
-    /// (it dies for reasons unrelated to the bug), the engine charges
-    /// an exponentially growing backoff and retries up to
-    /// `reexec_retries` times before writing the iteration off as a
-    /// failed run.
-    #[allow(clippy::too_many_arguments)]
-    fn run(
+    // ------------------------------------------------------------------
+    // Trial-spec constructors (shared by the drivers and the speculation
+    // generators, so predicted and actual specs compare equal)
+    // ------------------------------------------------------------------
+
+    /// The phase-1 trial at checkpoint `id`: all preventive changes with
+    /// heap marking.
+    fn phase1_spec(id: u64, until: usize) -> TrialSpec {
+        TrialSpec {
+            ckpt_id: id,
+            plan: ChangePlan {
+                heap_marking: true,
+                ..ChangePlan::all_preventive()
+            },
+            mark: true,
+            timing_seed: 0,
+            until,
+        }
+    }
+
+    /// The coverage-check trial: preventive for the identified set,
+    /// exposing for the rest.
+    fn coverage_spec(ckpt: u64, su: &[BugType], si: &[BugType], until: usize) -> TrialSpec {
+        let mut plan = ChangePlan::none();
+        for &b in si {
+            *plan.mode_mut(b) = Mode::Prevent;
+        }
+        for &b in su {
+            *plan.mode_mut(b) = Mode::Expose;
+        }
+        TrialSpec {
+            ckpt_id: ckpt,
+            plan,
+            mark: false,
+            timing_seed: 0,
+            until,
+        }
+    }
+
+    /// Speculative phase-2 tail at `ckpt`: the rule-out chain (probe `j`
+    /// runs if probes `0..j` were all ruled out) plus the coverage check
+    /// that follows if the first probe manifests and identifies directly.
+    fn phase2_tail(ckpt: u64, su: &[BugType], si: &[BugType], until: usize) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        for j in 0..su.len() {
+            let prevent: Vec<BugType> = su[j..].iter().chain(si.iter()).copied().collect();
+            out.push(TrialSpec {
+                ckpt_id: ckpt,
+                plan: ChangePlan::probe(su[j], &prevent),
+                mark: false,
+                timing_seed: 0,
+                until,
+            });
+        }
+        if su.len() > 1 {
+            let mut si_plus: Vec<BugType> = si.to_vec();
+            si_plus.push(su[0]);
+            out.push(Self::coverage_spec(ckpt, &su[1..], &si_plus, until));
+        }
+        out
+    }
+
+    /// Speculative tail for the call-site binary search: a breadth-first
+    /// walk of the bisection decision tree over `range`. A node with more
+    /// than one candidate emits the `ExposeOnly(first half)` trial the
+    /// driver runs next on that branch and recurses into both halves; a
+    /// leaf emits the follow-up `ExposeExcept` trial that re-checks for
+    /// further triggering sites once the leaf is identified.
+    fn bisect_tail(
+        bug: BugType,
+        prevent: &[BugType],
+        ckpt: u64,
+        until: usize,
+        range: &[CallSite],
+        identified: &[CallSite],
+    ) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<Vec<CallSite>> = VecDeque::new();
+        queue.push_back(range.to_vec());
+        while let Some(r) = queue.pop_front() {
+            match r.len() {
+                0 => {}
+                1 => {
+                    let mut except: HashSet<CallSite> = identified.iter().copied().collect();
+                    except.insert(r[0]);
+                    let mut plan = ChangePlan::probe(bug, prevent);
+                    *plan.mode_mut(bug) = Mode::ExposeExcept(except);
+                    out.push(TrialSpec {
+                        ckpt_id: ckpt,
+                        plan,
+                        mark: false,
+                        timing_seed: 0,
+                        until,
+                    });
+                }
+                n => {
+                    let half: HashSet<CallSite> = r[..n / 2].iter().copied().collect();
+                    let mut plan = ChangePlan::probe(bug, prevent);
+                    *plan.mode_mut(bug) = Mode::ExposeOnly(half);
+                    out.push(TrialSpec {
+                        ckpt_id: ckpt,
+                        plan,
+                        mark: false,
+                        timing_seed: 0,
+                        until,
+                    });
+                    queue.push_back(r[..n / 2].to_vec());
+                    queue.push_back(r[n / 2..].to_vec());
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Trial broker: sequential path, wave scheduling, and commit charging
+    // ------------------------------------------------------------------
+
+    /// Produces the report for `spec`, charging the ledger.
+    ///
+    /// Sequential mode (`parallelism == 1`) runs the trial directly.
+    /// Parallel mode first consults the wave cache; on a miss it discards
+    /// the stale cache and launches a new wave — the leader trial on the
+    /// calling thread plus up to `parallelism - 1` trials from `tail`
+    /// running concurrently on forks. Either way the fault gate resolves
+    /// once per *committed* trial, in the same order as the sequential
+    /// engine, so fault-plan consultation (and hence every injected-fault
+    /// outcome) is identical at any width.
+    fn fetch(
         &self,
         process: &mut Process,
         manager: &CheckpointManager,
-        ckpt_id: u64,
-        plan: ChangePlan,
-        mark: bool,
-        timing_seed: u64,
-        until: usize,
+        cache: &mut SpecCache,
+        ledger: &mut Ledger,
+        spec: TrialSpec,
+        tail: Vec<TrialSpec>,
     ) -> RunReport {
+        let width = self.config.parallelism.max(1);
+        if width == 1 {
+            let r = self.run(process, manager, &spec);
+            ledger.charge(&r);
+            return r;
+        }
+        if let Some(i) = cache.entries.iter().position(|(s, _)| *s == spec) {
+            let (_, raw) = cache.entries.remove(i);
+            self.spec_hits.set(self.spec_hits.get() + 1);
+            let r = self.commit(cache, raw);
+            ledger.charge(&r);
+            return r;
+        }
+        // Miss: whatever the last wave predicted is now stale.
+        if !cache.entries.is_empty() {
+            self.spec_wasted
+                .set(self.spec_wasted.get() + cache.entries.len());
+            cache.entries.clear();
+        }
+        cache.charged = 0;
+        // The fault gate resolves before the trial runs, exactly as in
+        // the sequential path; an exhausted gate means it never executes.
+        match self.fault_gate() {
+            Err(penalty) => {
+                let r = RunReport {
+                    passed: false,
+                    elapsed_ns: penalty + 80_000,
+                    ..RunReport::default()
+                };
+                ledger.charge(&r);
+                r
+            }
+            Ok(penalty) => {
+                let speculative = Self::plan_wave(manager, &spec, tail, width);
+                let (mut raw, results) = self.run_wave(process, manager, &spec, &speculative);
+                if !speculative.is_empty() {
+                    self.waves.set(self.waves.get() + 1);
+                    self.spec_launched
+                        .set(self.spec_launched.get() + speculative.len());
+                }
+                cache.entries = results;
+                cache.charged = raw.elapsed_ns;
+                raw.elapsed_ns += penalty;
+                ledger.charge(&raw);
+                raw
+            }
+        }
+    }
+
+    /// Applies the fault gate to a cached speculative result and charges
+    /// its share of the wave's virtual time.
+    fn commit(&self, cache: &mut SpecCache, raw: RunReport) -> RunReport {
+        match self.fault_gate() {
+            Err(penalty) => {
+                // The gate killed this iteration: the speculative result
+                // is discarded, exactly as the sequential engine would
+                // never have run the trial.
+                self.spec_wasted.set(self.spec_wasted.get() + 1);
+                RunReport {
+                    passed: false,
+                    elapsed_ns: penalty + 80_000,
+                    ..RunReport::default()
+                }
+            }
+            Ok(penalty) => {
+                let extra = raw.elapsed_ns.saturating_sub(cache.charged);
+                cache.charged += extra;
+                let mut r = raw;
+                r.elapsed_ns = extra + penalty;
+                r
+            }
+        }
+    }
+
+    /// Selects the speculative members of a wave: the tail specs, deduped
+    /// against the leader and each other, filtered to intact retained
+    /// checkpoints, truncated so leader + speculation fit the wave width.
+    fn plan_wave(
+        manager: &CheckpointManager,
+        leader: &TrialSpec,
+        tail: Vec<TrialSpec>,
+        width: usize,
+    ) -> Vec<TrialSpec> {
+        let mut wave: Vec<TrialSpec> = Vec::new();
+        for s in tail {
+            if wave.len() + 1 >= width {
+                break;
+            }
+            if s == *leader || wave.contains(&s) {
+                continue;
+            }
+            if !manager.get(s.ckpt_id).is_some_and(|c| c.verify()) {
+                continue;
+            }
+            wave.push(s);
+        }
+        wave
+    }
+
+    /// Runs one wave: the leader trial on the calling thread against the
+    /// main process (preserving phase-0 semantics — on a nondeterminism
+    /// verdict the runtime keeps the re-executed state), the speculative
+    /// trials concurrently on forked processes, each restored from its
+    /// own clone of the checkpoint snapshot (COW: an `Arc` clone per
+    /// page). Results return in spec order; a worker panic propagates.
+    fn run_wave(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        leader: &TrialSpec,
+        speculative: &[TrialSpec],
+    ) -> (RunReport, Vec<(TrialSpec, RunReport)>) {
+        let integrity_check = self.config.integrity_check;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = speculative
+                .iter()
+                .map(|spec| {
+                    let mut fork = process.fork();
+                    let snap = manager
+                        .get(spec.ckpt_id)
+                        .expect("wave specs are filtered to retained checkpoints")
+                        .snap
+                        .clone();
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        let r = ReplayHarness::reexecute_on(
+                            &mut fork,
+                            &snap,
+                            spec.plan.clone(),
+                            &ReexecOptions {
+                                mark_heap: spec.mark,
+                                timing_seed: spec.timing_seed,
+                                until_cursor: spec.until,
+                                integrity_check,
+                            },
+                        );
+                        (spec, r)
+                    })
+                })
+                .collect();
+            let leader_report = self.execute(process, manager, leader);
+            let results = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect();
+            (leader_report, results)
+        })
+    }
+
+    /// One re-execution of `spec` through the checkpoint manager.
+    fn execute(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        spec: &TrialSpec,
+    ) -> RunReport {
+        ReplayHarness::reexecute(
+            process,
+            manager,
+            spec.ckpt_id,
+            spec.plan.clone(),
+            &ReexecOptions {
+                mark_heap: spec.mark,
+                timing_seed: spec.timing_seed,
+                until_cursor: spec.until,
+                integrity_check: self.config.integrity_check,
+            },
+        )
+    }
+
+    /// Resolves the flaky-re-execution fault gate for one iteration:
+    /// `Ok(penalty)` means the trial proceeds after `penalty` ns of
+    /// retry backoff; `Err(penalty)` means retries were exhausted and
+    /// the iteration is written off as a failed, empty run.
+    fn fault_gate(&self) -> Result<u64, u64> {
         let mut penalty_ns = 0u64;
         let mut attempt: u32 = 0;
         loop {
@@ -573,28 +979,35 @@ impl DiagnosisEngine {
                     self.retries.set(self.retries.get() + 1);
                     continue;
                 }
-                // Retries exhausted: surface a failed, empty iteration
-                // so the caller treats this probe as inconclusive.
-                return RunReport {
-                    passed: false,
-                    elapsed_ns: penalty_ns + 80_000,
-                    ..RunReport::default()
-                };
+                return Err(penalty_ns);
             }
-            let mut r = ReplayHarness::reexecute(
-                process,
-                manager,
-                ckpt_id,
-                plan.clone(),
-                &ReexecOptions {
-                    mark_heap: mark,
-                    timing_seed,
-                    until_cursor: until,
-                    integrity_check: self.config.integrity_check,
-                },
-            );
-            r.elapsed_ns += penalty_ns;
-            return r;
+            return Ok(penalty_ns);
+        }
+    }
+
+    /// One re-execution, with bounded retry-with-backoff against flaky
+    /// iterations: if the fault plan declares this re-execution flaky
+    /// (it dies for reasons unrelated to the bug), the engine charges
+    /// an exponentially growing backoff and retries up to
+    /// `reexec_retries` times before writing the iteration off as a
+    /// failed run.
+    fn run(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        spec: &TrialSpec,
+    ) -> RunReport {
+        match self.fault_gate() {
+            Err(penalty) => RunReport {
+                passed: false,
+                elapsed_ns: penalty + 80_000,
+                ..RunReport::default()
+            },
+            Ok(penalty) => {
+                let mut r = self.execute(process, manager, spec);
+                r.elapsed_ns += penalty;
+                r
+            }
         }
     }
 }

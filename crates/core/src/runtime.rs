@@ -618,6 +618,8 @@ impl FirstAidRuntime {
         let engine = DiagnosisEngine::with_faults(self.config.engine, self.config.faults.clone());
         let outcome = engine.diagnose(&mut self.process, &self.manager);
         self.degradation.reexec_retries += engine.retries_used();
+        self.degradation.speculative_trials += engine.speculative_trials();
+        self.degradation.parallel_waves += engine.parallel_waves();
         let record = match outcome {
             DiagnosisOutcome::NonDeterministic {
                 elapsed_ns, log, ..

@@ -177,6 +177,18 @@ impl CheckpointManager {
         Some(id)
     }
 
+    /// Flips a byte of the given checkpoint's *snapshot data* (in-page
+    /// rot, as opposed to [`Self::corrupt`]'s checksum rot), leaving the
+    /// recorded checksum untouched so only a content-aware digest can
+    /// notice. Returns `false` if the id is not retained or the snapshot
+    /// holds no page data. Test and fault-injection hook.
+    pub fn corrupt_data(&mut self, id: u64) -> bool {
+        match self.ring.iter_mut().find(|c| c.id == id) {
+            Some(c) => c.snap.rot_page(),
+            None => false,
+        }
+    }
+
     /// Removes every checkpoint whose snapshot fails verification and
     /// returns their ids (oldest first). Recovery calls this before
     /// choosing a rollback target so diagnosis only ever sees intact
@@ -405,6 +417,26 @@ mod tests {
             "rollback must refuse a corrupt checkpoint"
         );
         assert!(!mgr.corrupt(999), "unknown id is reported");
+    }
+
+    #[test]
+    fn in_page_rot_is_caught_by_content_digest() {
+        let mut mgr = CheckpointManager::new(config(), 10);
+        let mut p = process();
+        p.feed(InputBuilder::op(0).a(64).build());
+        let id = mgr.force_checkpoint(&mut p);
+        assert!(mgr.get(id).unwrap().verify());
+
+        // Rot a byte inside a snapshotted page; the stored checksum is
+        // untouched, so shape-only digests would miss this entirely.
+        assert!(mgr.corrupt_data(id));
+        assert!(!mgr.get(id).unwrap().verify());
+        assert!(
+            !mgr.rollback_to(&mut p, id),
+            "rollback must refuse in-page rot"
+        );
+        assert_eq!(mgr.sweep_corrupt(), vec![id]);
+        assert!(!mgr.corrupt_data(999), "unknown id is reported");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulated address space.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -22,11 +23,24 @@ use crate::snapshot::MemSnapshot;
 /// All pages materialize lazily and zero-filled on first write, like
 /// anonymous mappings handed out by the kernel. Reads of mapped but
 /// untouched pages observe zeros.
-#[derive(Clone)]
+///
+/// # Hot-path caches
+///
+/// Accesses cluster heavily on one page and one region at a time, so two
+/// one-entry caches keep the common case off the `BTreeMap` lookup and the
+/// region binary search:
+///
+/// * the **write cache** holds the most recently written page *removed from
+///   the page map* (preserving unique `Arc` ownership so repeated writes
+///   don't pay `Arc::make_mut` bookkeeping against a map entry), flushed
+///   back on any page switch, snapshot, unmap, grow, or restore;
+/// * the **region cache** remembers the index of the last region that
+///   satisfied a lookup, re-verified against the live bounds on every use.
 pub struct SimMemory {
     /// Mapped regions, sorted by start address.
     regions: Vec<Region>,
-    /// Materialized pages, keyed by page number.
+    /// Materialized pages, keyed by page number. A page currently held in
+    /// the write cache is *absent* from this map.
     pages: BTreeMap<u64, SharedPage>,
     /// Page numbers written since the last [`Self::take_dirty_pages`] call.
     dirty: BTreeSet<u64>,
@@ -36,6 +50,31 @@ pub struct SimMemory {
     bytes_read: u64,
     /// Total bytes written since creation (not rolled back by `restore`).
     bytes_written: u64,
+    /// One-entry write cache: the last written page, held out of `pages`.
+    wcache: Option<(u64, SharedPage)>,
+    /// Whether the cached page is already in the dirty set (skips the
+    /// per-write `BTreeSet` insert on repeated same-page writes).
+    wcache_dirty: bool,
+    /// One-entry region-lookup cache: index into `regions` of the last hit.
+    rcache: Cell<Option<usize>>,
+}
+
+impl Clone for SimMemory {
+    fn clone(&self) -> Self {
+        SimMemory {
+            regions: self.regions.clone(),
+            pages: self.pages.clone(),
+            dirty: self.dirty.clone(),
+            next_region: self.next_region,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            // The cached page becomes shared between the copies; the next
+            // write on either side replicates it via `Arc::make_mut`.
+            wcache: self.wcache.clone(),
+            wcache_dirty: self.wcache_dirty,
+            rcache: self.rcache.clone(),
+        }
+    }
 }
 
 impl SimMemory {
@@ -48,6 +87,9 @@ impl SimMemory {
             next_region: 0,
             bytes_read: 0,
             bytes_written: 0,
+            wcache: None,
+            wcache_dirty: false,
+            rcache: Cell::new(None),
         }
     }
 
@@ -73,39 +115,31 @@ impl SimMemory {
         };
         let pos = self.regions.partition_point(|r| r.start < region.start);
         self.regions.insert(pos, region);
+        self.rcache.set(None);
         Ok(id)
     }
 
-    /// Removes a region and drops its materialized pages.
+    /// Removes a region and drops the materialized pages it exclusively
+    /// owned. Pages straddling a boundary shared with a neighbouring
+    /// region survive (with the neighbour's bytes intact).
     pub fn unmap(&mut self, id: RegionId) -> Result<(), MemFault> {
         let pos = self
             .regions
             .iter()
             .position(|r| r.id == id)
             .ok_or(MemFault::NoSuchRegion)?;
+        self.flush_wcache();
+        self.rcache.set(None);
         let region = self.regions.remove(pos);
-        let first = region.start.page();
-        let last = region.end.offset(PAGE_SIZE as u64 - 1).page();
-        // Only drop pages not shared with a neighbouring region.
-        let shared_first = self.regions.iter().any(|r| {
-            r.contains_range(Addr(first * PAGE_SIZE as u64), 1)
-                || r.overlaps(Addr(first * PAGE_SIZE as u64), PAGE_SIZE as u64)
-        });
-        for page in first..last {
-            if page == first && shared_first {
-                continue;
-            }
-            self.pages.remove(&page);
-            self.dirty.remove(&page);
-        }
+        self.reclaim_range(region.start, region.end);
         Ok(())
     }
 
     /// Grows (or shrinks) a region to end at `new_end`, the `sbrk` analog.
     ///
-    /// Shrinking drops pages entirely beyond the new end. Growing fails
-    /// with [`MemFault::MapOverlap`] if the new range would collide with the
-    /// next region.
+    /// Shrinking drops the pages of the vacated range that no region still
+    /// overlaps. Growing fails with [`MemFault::MapOverlap`] if the new
+    /// range would collide with the next region.
     pub fn grow_region(&mut self, id: RegionId, new_end: Addr) -> Result<(), MemFault> {
         let pos = self
             .regions
@@ -125,24 +159,64 @@ impl SimMemory {
         }
         let old_end = self.regions[pos].end;
         self.regions[pos].end = new_end;
+        self.rcache.set(None);
         if new_end < old_end {
-            // Drop pages that now lie entirely outside the region.
-            let first_dead = new_end.offset(PAGE_SIZE as u64 - 1).page();
-            let last = old_end.offset(PAGE_SIZE as u64 - 1).page();
-            for page in first_dead..last {
-                self.pages.remove(&page);
-                self.dirty.remove(&page);
-            }
+            self.flush_wcache();
+            self.reclaim_range(new_end, old_end);
         }
         Ok(())
     }
 
+    /// Drops materialized pages of the dead range `[start, end)` that no
+    /// mapped region still overlaps.
+    ///
+    /// Regions are disjoint, so only the two *boundary* pages of the range
+    /// can be shared — with a neighbouring region or with the retained
+    /// prefix of a shrunk region; interior pages are reclaimed
+    /// unconditionally. Called after the region list has been updated.
+    fn reclaim_range(&mut self, start: Addr, end: Addr) {
+        if end <= start {
+            return;
+        }
+        let first = start.page();
+        let last = end.back(1).page();
+        for page in first..=last {
+            if page == first || page == last {
+                let page_start = Addr(page * PAGE_SIZE as u64);
+                if self
+                    .regions
+                    .iter()
+                    .any(|r| r.overlaps(page_start, PAGE_SIZE as u64))
+                {
+                    continue;
+                }
+            }
+            self.pages.remove(&page);
+            self.dirty.remove(&page);
+        }
+    }
+
     /// Returns the region containing `addr`, if any.
     pub fn region_of(&self, addr: Addr) -> Option<&Region> {
+        // Fast path: the last region that satisfied a lookup, re-verified
+        // against its live bounds (indices shift on map/unmap, so those
+        // invalidate the cache outright).
+        if let Some(i) = self.rcache.get() {
+            if let Some(r) = self.regions.get(i) {
+                if r.start <= addr && addr < r.end {
+                    return Some(r);
+                }
+            }
+        }
         let pos = self.regions.partition_point(|r| r.start.0 <= addr.0);
-        pos.checked_sub(1)
-            .map(|i| &self.regions[i])
-            .filter(|r| addr < r.end)
+        let i = pos.checked_sub(1)?;
+        let r = &self.regions[i];
+        if addr < r.end {
+            self.rcache.set(Some(i));
+            Some(r)
+        } else {
+            None
+        }
     }
 
     /// Returns the region with the given id, if mapped.
@@ -163,6 +237,33 @@ impl SimMemory {
     }
 
     // ------------------------------------------------------------------
+    // Write cache
+    // ------------------------------------------------------------------
+
+    /// Reinstates the cached page into the page map.
+    fn flush_wcache(&mut self) {
+        if let Some((pageno, page)) = self.wcache.take() {
+            self.pages.insert(pageno, page);
+        }
+        self.wcache_dirty = false;
+    }
+
+    /// Makes `pageno` the cached write target, materializing it zero-filled
+    /// if it has never been written.
+    fn load_wcache(&mut self, pageno: u64) {
+        if matches!(self.wcache, Some((cached, _)) if cached == pageno) {
+            return;
+        }
+        self.flush_wcache();
+        let page = self
+            .pages
+            .remove(&pageno)
+            .unwrap_or_else(|| Arc::new(Page::zeroed()));
+        self.wcache = Some((pageno, page));
+        self.wcache_dirty = self.dirty.contains(&pageno);
+    }
+
+    // ------------------------------------------------------------------
     // Data access
     // ------------------------------------------------------------------
 
@@ -175,7 +276,14 @@ impl SimMemory {
         while filled < buf.len() {
             let in_page = PAGE_SIZE - cursor.page_offset();
             let take = in_page.min(buf.len() - filled);
-            match self.pages.get(&cursor.page()) {
+            let pageno = cursor.page();
+            // Reads never (un)load the cache: they'd thrash it on
+            // read-mostly phases and must not materialize pages.
+            let page = match &self.wcache {
+                Some((cached, page)) if *cached == pageno => Some(page.as_ref()),
+                _ => self.pages.get(&pageno).map(Arc::as_ref),
+            };
+            match page {
                 Some(page) => {
                     let off = cursor.page_offset();
                     buf[filled..filled + take].copy_from_slice(&page.bytes()[off..off + take]);
@@ -198,14 +306,15 @@ impl SimMemory {
             let in_page = PAGE_SIZE - cursor.page_offset();
             let take = in_page.min(buf.len() - taken);
             let pageno = cursor.page();
-            let page = self
-                .pages
-                .entry(pageno)
-                .or_insert_with(|| Arc::new(Page::zeroed()));
+            self.load_wcache(pageno);
+            let (_, page) = self.wcache.as_mut().expect("write cache just loaded");
             let off = cursor.page_offset();
             Arc::make_mut(page).bytes_mut()[off..off + take]
                 .copy_from_slice(&buf[taken..taken + take]);
-            self.dirty.insert(pageno);
+            if !self.wcache_dirty {
+                self.wcache_dirty = true;
+                self.dirty.insert(pageno);
+            }
             taken += take;
             cursor = cursor.offset(take as u64);
         }
@@ -271,11 +380,39 @@ impl SimMemory {
         Ok(())
     }
 
-    /// Copies `len` bytes from `src` to `dst` (non-overlapping or forward
-    /// overlapping safe, like `memmove` via a temporary).
+    /// Copies `len` bytes from `src` to `dst` through a page-sized stack
+    /// buffer — overlap-safe in both directions (`memmove`), without
+    /// allocating a `len`-sized temporary.
+    ///
+    /// Both ranges are validated up front, so a fault leaves the
+    /// destination unmodified.
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<(), MemFault> {
-        let data = self.read_bytes(src, len)?;
-        self.write(dst, &data)
+        self.check_mapped(src, len, AccessKind::Read)?;
+        self.check_mapped(dst, len, AccessKind::Write)?;
+        const CHUNK: u64 = PAGE_SIZE as u64;
+        let mut tmp = [0u8; PAGE_SIZE];
+        if dst.0 <= src.0 {
+            // Ascending chunks: writes only clobber source bytes at or
+            // below the chunk already buffered in `tmp`.
+            let mut done = 0u64;
+            while done < len {
+                let take = (len - done).min(CHUNK) as usize;
+                self.read(src.offset(done), &mut tmp[..take])?;
+                self.write(dst.offset(done), &tmp[..take])?;
+                done += take as u64;
+            }
+        } else {
+            // Descending chunks: writes land above the source bytes still
+            // to be read.
+            let mut remaining = len;
+            while remaining > 0 {
+                let take = remaining.min(CHUNK) as usize;
+                remaining -= take as u64;
+                self.read(src.offset(remaining), &mut tmp[..take])?;
+                self.write(dst.offset(remaining), &tmp[..take])?;
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -287,9 +424,13 @@ impl SimMemory {
     /// Cost is proportional to the number of materialized pages (an `Arc`
     /// clone per page), not their contents — the fork analog.
     pub fn snapshot(&self) -> MemSnapshot {
+        let mut pages = self.pages.clone();
+        if let Some((pageno, page)) = &self.wcache {
+            pages.insert(*pageno, Arc::clone(page));
+        }
         MemSnapshot {
             regions: self.regions.clone(),
-            pages: self.pages.clone(),
+            pages,
             next_region: self.next_region,
         }
     }
@@ -301,6 +442,9 @@ impl SimMemory {
         self.pages = snap.pages.clone();
         self.next_region = snap.next_region;
         self.dirty.clear();
+        self.wcache = None;
+        self.wcache_dirty = false;
+        self.rcache.set(None);
     }
 
     // ------------------------------------------------------------------
@@ -314,6 +458,7 @@ impl SimMemory {
     pub fn take_dirty_pages(&mut self) -> usize {
         let n = self.dirty.len();
         self.dirty.clear();
+        self.wcache_dirty = false;
         n
     }
 
@@ -325,7 +470,7 @@ impl SimMemory {
 
     /// Returns the number of materialized (resident) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len() + usize::from(self.wcache.is_some())
     }
 
     /// Returns the total size of all mapped regions in bytes.
@@ -444,6 +589,45 @@ mod tests {
     }
 
     #[test]
+    fn shrink_page_aligned_end_reclaims_exactly() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        let id = mem.map(base, 3 * PAGE_SIZE as u64, "heap").unwrap();
+        mem.fill(base, 3 * PAGE_SIZE as u64, 0x11).unwrap();
+        assert_eq!(mem.resident_pages(), 3);
+        // Page-aligned new end: both vacated pages are exclusively owned.
+        mem.grow_region(id, base.offset(PAGE_SIZE as u64)).unwrap();
+        assert_eq!(mem.resident_pages(), 1);
+        assert_eq!(
+            mem.read_u8(base.offset(PAGE_SIZE as u64 - 1)).unwrap(),
+            0x11
+        );
+    }
+
+    #[test]
+    fn shrink_keeps_page_straddling_the_new_end() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        let id = mem.map(base, 0x2800 - 0x1000, "heap").unwrap(); // [0x1000, 0x2800)
+        mem.fill(base, 0x1800, 0x22).unwrap();
+        // Shrink to a mid-page end: page 1 straddles the retained prefix.
+        mem.grow_region(id, Addr(0x1800)).unwrap();
+        assert_eq!(mem.read_u8(Addr(0x17ff)).unwrap(), 0x22);
+    }
+
+    #[test]
+    fn shrink_spares_straddling_neighbour_page() {
+        let mut mem = SimMemory::new();
+        // A = [0x1000, 0x2800), B = [0x2800, 0x3800): B starts mid-page 2.
+        let a = mem.map(Addr(0x1000), 0x1800, "a").unwrap();
+        mem.map(Addr(0x2800), 0x1000, "b").unwrap();
+        mem.write(Addr(0x2800), b"neighbour").unwrap();
+        // Shrinking A vacates [0x1800, 0x2800); page 2 belongs to B too.
+        mem.grow_region(a, Addr(0x1800)).unwrap();
+        assert_eq!(mem.read_bytes(Addr(0x2800), 9).unwrap(), b"neighbour");
+    }
+
+    #[test]
     fn snapshot_restore_roundtrip() {
         let (mut mem, base) = mapped();
         mem.write_u64(base, 111).unwrap();
@@ -482,6 +666,17 @@ mod tests {
     }
 
     #[test]
+    fn cached_page_redirties_after_take() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 1).unwrap();
+        assert_eq!(mem.take_dirty_pages(), 1);
+        // Same page stays in the write cache across the interval boundary;
+        // the next write must count it dirty again.
+        mem.write_u64(base.offset(8), 2).unwrap();
+        assert_eq!(mem.dirty_page_count(), 1);
+    }
+
+    #[test]
     fn region_of_lookup() {
         let mut mem = SimMemory::new();
         mem.map(Addr(0x1000), 4096, "a").unwrap();
@@ -490,6 +685,8 @@ mod tests {
         assert_eq!(mem.region_of(Addr(0x10fff)).unwrap().name, "b");
         assert!(mem.region_of(Addr(0x2000)).is_none());
         assert!(mem.region_of(Addr(0x0)).is_none());
+        // Cached hit after a miss still resolves correctly.
+        assert_eq!(mem.region_of(Addr(0x1008)).unwrap().name, "a");
     }
 
     #[test]
@@ -500,6 +697,51 @@ mod tests {
         mem.unmap(id).unwrap();
         assert!(mem.read_u8(Addr(0x1000)).is_err());
         assert!(matches!(mem.unmap(id), Err(MemFault::NoSuchRegion)));
+    }
+
+    #[test]
+    fn unmap_reclaims_cached_and_trailing_pages() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        let id = mem.map(base, 2 * PAGE_SIZE as u64, "a").unwrap();
+        // Leave the trailing page in the write cache when unmapping.
+        mem.write_u8(base, 1).unwrap();
+        mem.write_u8(base.offset(PAGE_SIZE as u64), 2).unwrap();
+        mem.unmap(id).unwrap();
+        assert_eq!(mem.resident_pages(), 0, "all pages reclaimed");
+        // Remapping the same range observes fresh zero pages.
+        mem.map(base, 2 * PAGE_SIZE as u64, "a2").unwrap();
+        assert_eq!(mem.read_u8(base).unwrap(), 0);
+        assert_eq!(mem.read_u8(base.offset(PAGE_SIZE as u64)).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmap_spares_pages_straddled_by_neighbours() {
+        let mut mem = SimMemory::new();
+        // A = [0x1000, 0x1800), B = [0x1800, 0x2800): they share page 1,
+        // and B alone owns the tail of page 2.
+        let a = mem.map(Addr(0x1000), 0x800, "a").unwrap();
+        let b = mem.map(Addr(0x1800), 0x1000, "b").unwrap();
+        mem.write(Addr(0x1800), b"tail").unwrap();
+        mem.write(Addr(0x2000), b"head").unwrap();
+        mem.unmap(a).unwrap();
+        assert_eq!(mem.read_bytes(Addr(0x1800), 4).unwrap(), b"tail");
+        assert_eq!(mem.read_bytes(Addr(0x2000), 4).unwrap(), b"head");
+        // Unmapping B afterwards reclaims both shared pages.
+        mem.unmap(b).unwrap();
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn unmap_spares_trailing_page_of_following_region() {
+        let mut mem = SimMemory::new();
+        // A = [0x1000, 0x2800) ends mid-page 2; B = [0x2800, 0x3800)
+        // starts on the same page. Unmapping A must not clobber B.
+        let a = mem.map(Addr(0x1000), 0x1800, "a").unwrap();
+        mem.map(Addr(0x2800), 0x1000, "b").unwrap();
+        mem.write(Addr(0x2800), b"survivor").unwrap();
+        mem.unmap(a).unwrap();
+        assert_eq!(mem.read_bytes(Addr(0x2800), 8).unwrap(), b"survivor");
     }
 
     #[test]
@@ -525,11 +767,53 @@ mod tests {
     }
 
     #[test]
+    fn copy_overlapping_forward_and_backward() {
+        // Overlap distance smaller than the chunk size in both directions,
+        // across a page boundary — the memmove cases.
+        let len = PAGE_SIZE as u64 + 500;
+        let pattern: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+
+        let (mut mem, base) = mapped();
+        mem.write(base.offset(300), &pattern).unwrap();
+        mem.copy(base, base.offset(300), len).unwrap(); // dst < src
+        assert_eq!(mem.read_bytes(base, len).unwrap(), pattern);
+
+        let (mut mem, base) = mapped();
+        mem.write(base, &pattern).unwrap();
+        mem.copy(base.offset(300), base, len).unwrap(); // dst > src
+        assert_eq!(mem.read_bytes(base.offset(300), len).unwrap(), pattern);
+    }
+
+    #[test]
+    fn copy_to_unmapped_destination_is_atomic() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        mem.map(base, 2 * PAGE_SIZE as u64, "a").unwrap();
+        mem.write(base, b"payload").unwrap();
+        // Destination range runs off the end of the region: the copy must
+        // fail up front without writing anything.
+        let dst = base.offset(2 * PAGE_SIZE as u64 - 4);
+        assert!(mem.copy(dst, base, 7).is_err());
+        assert_eq!(mem.read_bytes(dst, 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
     fn byte_counters_accumulate() {
         let (mut mem, base) = mapped();
         mem.write_u64(base, 5).unwrap();
         let _ = mem.read_u32(base).unwrap();
         assert_eq!(mem.bytes_written(), 8);
         assert_eq!(mem.bytes_read(), 4);
+    }
+
+    #[test]
+    fn snapshot_includes_write_cached_page() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 77).unwrap(); // page rides in the write cache
+        let snap = mem.snapshot();
+        assert_eq!(snap.page_count(), 1);
+        mem.write_u64(base, 88).unwrap();
+        mem.restore(&snap);
+        assert_eq!(mem.read_u64(base).unwrap(), 77);
     }
 }

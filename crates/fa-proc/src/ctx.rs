@@ -93,16 +93,30 @@ impl Clone for CtxSnapshot {
 }
 
 impl CtxSnapshot {
-    /// A cheap structural checksum over the snapshot: virtual clock,
-    /// timing seed, and memory shape, mixed through SplitMix64. Two
-    /// snapshots of diverged contexts collide only accidentally; a
-    /// snapshot whose stored checksum no longer matches its `digest()`
-    /// has rotted (fa-checkpoint uses this to detect corruption).
+    /// A content-aware checksum over the snapshot: virtual clock, timing
+    /// seed, memory shape, and the per-page content digest, mixed through
+    /// SplitMix64. Two snapshots of diverged contexts collide only
+    /// accidentally; a snapshot whose stored checksum no longer matches
+    /// its `digest()` has rotted (fa-checkpoint uses this to detect
+    /// corruption, including a single flipped byte inside a page).
+    ///
+    /// The content fold reuses hashes cached on the CoW-shared pages, so
+    /// digesting a fresh checkpoint costs O(pages dirtied since the last
+    /// checkpoint), not O(resident pages).
     pub fn digest(&self) -> u64 {
         let mut h = mix64(0xfa1d ^ self.clock.now());
         h = mix64(h ^ self.timing_seed);
         h = mix64(h ^ self.mem.page_count() as u64);
-        mix64(h ^ self.mem.referenced_bytes())
+        h = mix64(h ^ self.mem.referenced_bytes());
+        mix64(h ^ self.mem.content_digest())
+    }
+
+    /// Corrupts one byte of snapshotted page data in place (CoW-isolated
+    /// from the live process and sibling snapshots). Test/fault-injection
+    /// hook for checkpoint-rot detection; returns `false` if the snapshot
+    /// holds no page data to rot.
+    pub fn rot_page(&mut self) -> bool {
+        self.mem.rot_page()
     }
 }
 

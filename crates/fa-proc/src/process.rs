@@ -66,6 +66,13 @@ impl ProcSnapshot {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ (self.cursor as u64).wrapping_add(0x94d0_49bb_1331_11eb)
     }
+
+    /// Corrupts one byte of snapshotted page data (CoW-isolated from the
+    /// live process). Fault-injection hook for checkpoint-rot detection;
+    /// returns `false` if there is no page data to rot.
+    pub fn rot_page(&mut self) -> bool {
+        self.ctx.rot_page()
+    }
 }
 
 /// A simulated process under (or before) First-Aid supervision.

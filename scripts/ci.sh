@@ -14,3 +14,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Fault-injection liveness gate: every named scenario must leave the
 # runtime live (input conservation is asserted inside the bench).
 cargo run --release --offline -p fa-bench --bin faults -- --check
+
+# Performance regression gate: wall-clock throughput and snapshot cost
+# vs the committed results/perf.json baseline, plus the >=2x
+# virtual-time speedup of parallel diagnosis on Apache and Squid.
+cargo run --release --offline -p fa-bench --bin perf -- --check

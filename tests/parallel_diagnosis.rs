@@ -1,0 +1,134 @@
+//! Property: the diagnosis engine's verdict is deterministic in
+//! [`EngineConfig::parallelism`]. Speculative waves may only change how
+//! much virtual time a diagnosis charges (max over a wave instead of the
+//! sum), never *what* it concludes — same bugs, same call-sites, same
+//! checkpoint, same rollback count, even under injected pipeline faults
+//! whose shared counters are order-sensitive.
+
+use fa_allocext::ExtAllocator;
+use fa_apps::{fault_scenario, AppSpec, WorkloadSpec};
+use fa_checkpoint::{AdaptiveConfig, CheckpointManager};
+use first_aid::core::{DiagnosisEngine, DiagnosisOutcome, EngineConfig};
+use first_aid::prelude::*;
+
+/// Feeds the spec's workload into a fresh process, forcing a checkpoint
+/// every few successful inputs, until the bug fails the process.
+fn build_failed(spec: &AppSpec) -> (Process, CheckpointManager) {
+    let mut ctx = ProcessCtx::new(1 << 28);
+    ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+    let mut p = Process::launch((spec.build)(), ctx).unwrap();
+    let mut mgr = CheckpointManager::new(AdaptiveConfig::default(), 16);
+    mgr.force_checkpoint(&mut p);
+    let w = (spec.workload)(&WorkloadSpec::new(600, &[100]));
+    let mut ok_steps = 0usize;
+    for input in w {
+        if !p.feed(input).is_ok() {
+            break;
+        }
+        ok_steps += 1;
+        if ok_steps.is_multiple_of(25) {
+            mgr.force_checkpoint(&mut p);
+        }
+    }
+    assert!(
+        p.failure.is_some(),
+        "{}: the trigger input must fail the process",
+        spec.key
+    );
+    (p, mgr)
+}
+
+/// Everything the diagnosis concluded, minus the quantities the wave
+/// model is allowed to change (`elapsed_ns` and deadline-dependent log
+/// text).
+fn fingerprint(outcome: &DiagnosisOutcome) -> String {
+    match outcome {
+        DiagnosisOutcome::Diagnosed(d) => {
+            let bugs: Vec<String> = d
+                .bugs
+                .iter()
+                .map(|b| format!("{}@{:x?}", b.bug, b.sites))
+                .collect();
+            format!(
+                "diagnosed ckpt={} rollbacks={} until={} bugs={}",
+                d.checkpoint_id,
+                d.rollbacks,
+                d.until_cursor,
+                bugs.join(";")
+            )
+        }
+        DiagnosisOutcome::NonDeterministic { rollbacks, .. } => {
+            format!("nondeterministic rollbacks={rollbacks}")
+        }
+        DiagnosisOutcome::NonPatchable { rollbacks, .. } => {
+            format!("nonpatchable rollbacks={rollbacks}")
+        }
+    }
+}
+
+/// Diagnoses a freshly-built failure at the given width and fault
+/// scenario, returning the fingerprint plus the engine's retry and
+/// speculation counters.
+fn diagnose_at(
+    spec: &AppSpec,
+    parallelism: usize,
+    scenario: &str,
+    seed: u64,
+) -> (String, usize, usize) {
+    let (mut p, mgr) = build_failed(spec);
+    let config = EngineConfig {
+        parallelism,
+        ..EngineConfig::default()
+    };
+    let plan = fault_scenario(scenario, seed).expect("known scenario");
+    let engine = DiagnosisEngine::with_faults(config, plan);
+    let outcome = engine.diagnose(&mut p, &mgr);
+    (
+        fingerprint(&outcome),
+        engine.retries_used(),
+        engine.speculative_trials(),
+    )
+}
+
+#[test]
+fn diagnosis_is_deterministic_across_parallelism() {
+    let mut speculated_somewhere = false;
+    for spec in fa_apps::all_specs() {
+        let (seq, seq_retries, _) = diagnose_at(&spec, 1, "none", 0);
+        for width in [4, 8] {
+            let (par, par_retries, launched) = diagnose_at(&spec, width, "none", 0);
+            assert_eq!(
+                seq, par,
+                "{}: parallelism {width} changed the diagnosis",
+                spec.key
+            );
+            assert_eq!(seq_retries, par_retries, "{}", spec.key);
+            speculated_somewhere |= launched > 0;
+        }
+    }
+    assert!(
+        speculated_somewhere,
+        "the parallel scheduler never launched a speculative trial"
+    );
+}
+
+#[test]
+fn diagnosis_is_deterministic_under_fault_injection() {
+    for key in ["apache", "squid", "cvs"] {
+        let spec = fa_apps::spec_by_key(key).unwrap();
+        for scenario in ["flaky-reexec", "kitchen-sink"] {
+            for seed in [3u64, 17] {
+                let (seq, seq_retries, _) = diagnose_at(&spec, 1, scenario, seed);
+                let (par, par_retries, _) = diagnose_at(&spec, 4, scenario, seed);
+                assert_eq!(
+                    seq, par,
+                    "{key}/{scenario}/seed {seed}: parallelism changed the diagnosis"
+                );
+                assert_eq!(
+                    seq_retries, par_retries,
+                    "{key}/{scenario}/seed {seed}: fault-gate consultation diverged"
+                );
+            }
+        }
+    }
+}
