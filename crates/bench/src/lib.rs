@@ -25,6 +25,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fleet;
 pub mod perf;
+pub mod sentry;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -27,12 +27,35 @@
 use std::cell::Cell;
 use std::collections::{HashSet, VecDeque};
 
-use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, Patch};
+use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, Patch, TrapKind, TrapRecord};
 use fa_checkpoint::CheckpointManager;
 use fa_faults::{FaultPlan, FaultStage};
+use fa_mem::AccessKind;
 use fa_proc::{CallSite, Process};
 
 use crate::harness::{ReexecOptions, ReplayHarness, RunReport};
+
+/// Maps a sentry trap to the bug type it evidences.
+pub fn trap_bug_type(trap: &TrapRecord) -> BugType {
+    match trap.kind {
+        TrapKind::GuardHit | TrapKind::CanaryOnFree => BugType::BufferOverflow,
+        TrapKind::DoubleFreeSlot => BugType::DoubleFree,
+        TrapKind::UninitReadSlot => BugType::UninitRead,
+        TrapKind::PoisonAccess => match trap.access {
+            Some(AccessKind::Write) => BugType::DanglingWrite,
+            _ => BugType::DanglingRead,
+        },
+    }
+}
+
+/// The call-site a sentry trap suggests as the patch point for `bug`.
+pub fn trap_seed_site(trap: &TrapRecord, bug: BugType) -> Option<CallSite> {
+    if bug.patches_at_allocation() {
+        Some(trap.alloc_site)
+    } else {
+        trap.free_site
+    }
+}
 
 /// Tunables of the diagnosis engine.
 #[derive(Clone, Copy, Debug)]
@@ -450,6 +473,7 @@ impl DiagnosisEngine {
                         &r,
                         until,
                         &mut ledger,
+                        &[],
                     );
                     (sites, r.manifests.clone())
                 };
@@ -504,6 +528,150 @@ impl DiagnosisEngine {
         })
     }
 
+    /// Sentry fast-path diagnosis: a trapped failure arrives with the bug
+    /// type and triggering call-site already suggested, so instead of the
+    /// full ladder (non-determinism probe, phase-1 checkpoint scan, the
+    /// `Su` rule-out chain) the engine runs one confirming re-execution
+    /// with the suspected type exposing and everything else preventive.
+    /// For directly-identifiable types the manifestations name the sites;
+    /// for the read bugs the trapped site seeds the search: a clean
+    /// `ExposeExcept({site})` run pins the whole bug on it, and only a
+    /// residue falls back to the (seeded) binary search.
+    ///
+    /// Returns `None` when the trap does not confirm — a wedged engine,
+    /// an expired deadline, or a probe that never manifests — in which
+    /// case the caller falls back to [`DiagnosisEngine::diagnose`].
+    pub fn diagnose_fast(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        trap: &TrapRecord,
+    ) -> Option<Diagnosis> {
+        let failure = process.failure.clone()?;
+        let f_idx = failure.input_index;
+        let margin_ns = self.config.margin_intervals * manager.interval_ns();
+        let until = ReplayHarness::success_end_cursor(process, f_idx, margin_ns);
+        let bug = trap_bug_type(trap);
+        let mut ledger = Ledger {
+            rollbacks: 0,
+            elapsed_ns: 0,
+            log: vec![format!(
+                "sentry fast path: {} trap at input #{f_idx} suggests {bug}",
+                trap.kind
+            )],
+        };
+        // A wedged engine degrades to the full ladder (which will consult
+        // the same gate) instead of hanging the fast path.
+        if self.faults.should_fail(FaultStage::DiagnosisTimeout) {
+            return None;
+        }
+        let mut cache = SpecCache::default();
+        // Checkpoint selection follows the ladder's phase-1 rule (latest
+        // checkpoint that survives all-preventive with clean marks) so
+        // both paths bisect over the same re-execution window — a later
+        // checkpoint would see only a suffix of the triggering sites.
+        let mut chosen: Option<u64> = None;
+        for k in 0..self.config.max_checkpoint_tries {
+            if ledger.rollbacks >= self.config.max_reexecutions || self.past_deadline(&ledger) {
+                return None;
+            }
+            let Some(ckpt) = manager.nth_newest(k) else {
+                break;
+            };
+            let id = ckpt.id;
+            let r = self.run(process, manager, &Self::phase1_spec(id, until));
+            ledger.charge(&r);
+            if r.passed && !r.mark_corrupt() {
+                ledger.log.push(format!(
+                    "fast path: checkpoint {id} (-{k}) precedes the trigger"
+                ));
+                chosen = Some(id);
+                break;
+            }
+        }
+        let ckpt_id = chosen?;
+        {
+            // One confirming re-execution: the suspected type exposing,
+            // everything else preventive.
+            let spec = TrialSpec {
+                ckpt_id,
+                plan: ChangePlan::probe(bug, &BugType::ALL),
+                mark: false,
+                timing_seed: 0,
+                until,
+            };
+            let r = self.run(process, manager, &spec);
+            ledger.charge(&r);
+            if !Self::manifested(bug, &r) {
+                ledger.log.push(format!(
+                    "fast path: {bug} did not manifest from checkpoint {ckpt_id}; full ladder"
+                ));
+                return None;
+            }
+            ledger.log.push(format!(
+                "fast path: {bug} confirmed from checkpoint {ckpt_id}"
+            ));
+            let sites = if bug.directly_identifiable() {
+                Self::direct_sites(bug, &r)
+            } else {
+                let seed = trap_seed_site(trap, bug)?;
+                let mut plan = ChangePlan::probe(bug, &BugType::ALL);
+                *plan.mode_mut(bug) = Mode::ExposeExcept([seed].into_iter().collect());
+                let spec = TrialSpec {
+                    ckpt_id,
+                    plan,
+                    mark: false,
+                    timing_seed: 0,
+                    until,
+                };
+                let r2 = self.run(process, manager, &spec);
+                ledger.charge(&r2);
+                if !Self::manifested(bug, &r2) {
+                    ledger.log.push(format!(
+                        "fast path: trapped call-site {:x?} alone accounts for the bug",
+                        seed.0
+                    ));
+                    vec![seed]
+                } else {
+                    ledger
+                        .log
+                        .push("fast path: residue beyond the trapped site; seeded search".into());
+                    self.binary_search_sites(
+                        process,
+                        manager,
+                        &mut cache,
+                        ckpt_id,
+                        bug,
+                        &BugType::ALL,
+                        &r,
+                        until,
+                        &mut ledger,
+                        &[seed],
+                    )
+                }
+            };
+            if sites.is_empty() {
+                return None;
+            }
+            ledger.log.push(format!(
+                "fast path: {bug} triggered at {} call-site(s)",
+                sites.len()
+            ));
+            Some(Diagnosis {
+                bugs: vec![DiagnosedBug {
+                    bug,
+                    sites,
+                    evidence: r.manifests.clone(),
+                }],
+                checkpoint_id: ckpt_id,
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+                until_cursor: until,
+            })
+        }
+    }
+
     /// Binary call-site search for dangling-read / uninit-read bugs:
     /// O(M·log N) re-executions for M triggering sites among N candidates.
     #[allow(clippy::too_many_arguments)]
@@ -518,8 +686,9 @@ impl DiagnosisEngine {
         first_probe: &RunReport,
         until: usize,
         ledger: &mut Ledger,
+        seeded: &[CallSite],
     ) -> Vec<CallSite> {
-        let mut identified: Vec<CallSite> = Vec::new();
+        let mut identified: Vec<CallSite> = seeded.to_vec();
         // Candidates from the manifesting probe run.
         let mut candidates: Vec<CallSite> = if bug.patches_at_allocation() {
             first_probe.alloc_sites.clone()

@@ -66,7 +66,10 @@ pub mod runtime;
 pub mod validate;
 
 pub use baselines::{RestartRuntime, RxRuntime};
-pub use diagnose::{DiagnosedBug, Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig};
+pub use diagnose::{
+    trap_bug_type, trap_seed_site, DiagnosedBug, Diagnosis, DiagnosisEngine, DiagnosisOutcome,
+    EngineConfig,
+};
 pub use harness::{ReexecOptions, ReplayHarness, RunReport};
 pub use metrics::{DegradationMetrics, ThroughputSampler};
 pub use patchpool::PatchPool;
@@ -79,6 +82,9 @@ pub use validate::{ValidationEngine, ValidationOutcome};
 
 // Re-export the patch and bug-type vocabulary for downstream users.
 pub use fa_allocext::{BugType, Patch, PatchSet, PreventiveChange, GENERIC_SITE};
+// Re-export the sentry-tier vocabulary (configs, metrics, trap records)
+// so supervisors and benches need not depend on fa-sentry directly.
+pub use fa_allocext::{SentryConfig, SentryMetrics, TrapKind, TrapRecord};
 // Re-export the fault-injection vocabulary so harnesses need not depend
 // on fa-faults directly.
 pub use fa_faults::{FaultPlan, FaultPlanBuilder, FaultStage, Injection};

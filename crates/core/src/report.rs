@@ -11,7 +11,7 @@ use std::fmt;
 
 use serde::Serialize;
 
-use fa_allocext::{IllegalKind, Patch, TraceEvent};
+use fa_allocext::{IllegalKind, Patch, SentryEngine, TraceEvent, TrapKind, TrapRecord};
 use fa_mem::AccessKind;
 use fa_proc::{FailureRecord, SymbolTable};
 
@@ -28,6 +28,15 @@ pub struct BugReport {
     pub program: String,
     /// Description of the original failure (the "core dump").
     pub failure: String,
+    /// How the bug was first detected: `"crash"` (the paper's error
+    /// monitors), `"canary-on-free"` (silent-overflow evidence harvested
+    /// from sentry slack), or `"sentry-trap"` (a guarded slot trapped
+    /// the faulting access itself).
+    pub detection: String,
+    /// Guarded-slot layout of the trapped object, when a sentry was the
+    /// detector (developers reading the report see exactly which bytes
+    /// were armed).
+    pub sentry_slot: Option<String>,
     /// Recovery time in virtual seconds.
     pub recovery_s: f64,
     /// Validation time in virtual seconds.
@@ -53,6 +62,7 @@ impl BugReport {
         patches: &[Patch],
         validation: &ValidationOutcome,
         symbols: &SymbolTable,
+        trap: Option<&TrapRecord>,
     ) -> BugReport {
         let patched_trace = validation.traces.first().cloned().unwrap_or_default();
         let triggers = validation
@@ -66,6 +76,7 @@ impl BugReport {
             .map(|(i, p)| (p.clone(), triggers.get(&i).copied().unwrap_or(0)))
             .collect();
 
+        let (detection, sentry_slot) = Self::detection_tier(trap);
         BugReport {
             program: program.to_owned(),
             failure: format!(
@@ -74,6 +85,8 @@ impl BugReport {
                 failure.input_index,
                 failure.at_ns as f64 / 1e9
             ),
+            detection,
+            sentry_slot,
             recovery_s: diagnosis.elapsed_ns as f64 / 1e9,
             validation_s: validation.validation_ns as f64 / 1e9,
             diagnosis_log: diagnosis.log.clone(),
@@ -93,8 +106,10 @@ impl BugReport {
         rung: &str,
         patches: &[Patch],
         mut log: Vec<String>,
+        trap: Option<&TrapRecord>,
     ) -> BugReport {
         log.push(format!("degraded recovery: {rung}"));
+        let (detection, sentry_slot) = Self::detection_tier(trap);
         BugReport {
             program: program.to_owned(),
             failure: format!(
@@ -103,12 +118,30 @@ impl BugReport {
                 failure.input_index,
                 failure.at_ns as f64 / 1e9
             ),
+            detection,
+            sentry_slot,
             recovery_s: 0.0,
             validation_s: 0.0,
             diagnosis_log: log,
             patches: patches.iter().map(|p| (p.clone(), 0)).collect(),
             mm_diff: Vec::new(),
             illegal_summary: Vec::new(),
+        }
+    }
+
+    /// Classifies the detection tier and renders the armed slot layout
+    /// for sentry-detected bugs.
+    fn detection_tier(trap: Option<&TrapRecord>) -> (String, Option<String>) {
+        match trap {
+            None => ("crash".to_owned(), None),
+            Some(t) => {
+                let tier = if t.kind == TrapKind::CanaryOnFree {
+                    "canary-on-free"
+                } else {
+                    "sentry-trap"
+                };
+                (tier.to_owned(), Some(SentryEngine::slot_layout(t.size)))
+            }
         }
     }
 
@@ -198,6 +231,10 @@ impl fmt::Display for BugReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Bug report for {}:", self.program)?;
         writeln!(f, "1. Failure coredump: {}", self.failure)?;
+        writeln!(f, "    detected by: {}", self.detection)?;
+        if let Some(slot) = &self.sentry_slot {
+            writeln!(f, "    armed slot: {slot}")?;
+        }
         writeln!(
             f,
             "2. Diagnosis summary: recovery: {:.3}(s); validation: {:.3}(s)",

@@ -7,12 +7,16 @@
 
 use std::collections::HashMap;
 
-use fa_allocext::{BugType, ExtAllocator, Patch, PatchSet, GENERIC_SITE};
+use fa_allocext::{
+    BugType, ExtAllocator, Patch, PatchSet, SentryConfig, SentryMetrics, TrapRecord, GENERIC_SITE,
+};
 use fa_checkpoint::{AdaptiveConfig, CheckpointManager, CheckpointStats};
 use fa_faults::{FaultPlan, FaultStage};
 use fa_proc::{BoxedApp, CallSite, FailureRecord, Fault, Input, Process, ProcessCtx, StepResult};
 
-use crate::diagnose::{Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig};
+use crate::diagnose::{
+    trap_bug_type, trap_seed_site, Diagnosis, DiagnosisEngine, DiagnosisOutcome, EngineConfig,
+};
 use crate::harness::expect_ext;
 use crate::log;
 use crate::metrics::{DegradationMetrics, ThroughputSampler};
@@ -56,6 +60,10 @@ pub struct FirstAidConfig {
     /// Declare the runtime restart-worthy after this many consecutive
     /// dropped inputs (rung 4; fleet workers relaunch on it; 0 never).
     pub restart_after_drops: usize,
+    /// Always-on sampling sentry tier: redirect ~1/rate allocations into
+    /// guarded slots that trap memory bugs at the faulting access and
+    /// feed the fast diagnosis path. `None` disables the tier.
+    pub sentry: Option<SentryConfig>,
 }
 
 impl Default for FirstAidConfig {
@@ -72,6 +80,7 @@ impl Default for FirstAidConfig {
             faults: FaultPlan::none(),
             patch_recurrence_limit: 2,
             restart_after_drops: 4,
+            sentry: None,
         }
     }
 }
@@ -146,6 +155,8 @@ pub struct RunSummary {
     pub bytes_delivered: u64,
     /// Degradation-ladder counters accumulated over the run.
     pub degradation: DegradationMetrics,
+    /// Sentry-tier counters accumulated over the run.
+    pub sentry: SentryMetrics,
 }
 
 /// A point-in-time health summary of one supervised runtime, cheap to
@@ -191,6 +202,9 @@ pub struct FirstAidRuntime {
     monitor: HashMap<String, SigState>,
     /// Consecutive dropped inputs; rung-4 restart trigger.
     drop_streak: usize,
+    /// Runtime-side sentry counters (fast-path/full-ladder split, false
+    /// traps); the allocator extension keeps the sampling-side counters.
+    sentry_counters: SentryMetrics,
     /// All recoveries performed, in order.
     pub recoveries: Vec<RecoveryRecord>,
 }
@@ -213,9 +227,13 @@ impl FirstAidRuntime {
         let pool_version_seen = pool.version();
         let (patches, pool_epoch_seen) = pool.get_with_epoch(&program);
         let quarantine = config.quarantine_bytes;
+        let sentry_cfg = config.sentry.clone();
         ctx.swap_alloc(|old| {
             let mut ext = ExtAllocator::attach(old.heap().clone());
             ext.set_quarantine_threshold(quarantine);
+            if let Some(cfg) = sentry_cfg {
+                ext.enable_sentry(cfg);
+            }
             ext.set_normal(patches);
             Box::new(ext)
         });
@@ -237,6 +255,7 @@ impl FirstAidRuntime {
             degradation: DegradationMetrics::default(),
             monitor: HashMap::new(),
             drop_streak: 0,
+            sentry_counters: SentryMetrics::default(),
             recoveries: Vec::new(),
         })
     }
@@ -338,14 +357,34 @@ impl FirstAidRuntime {
     /// Health-monitor key for a failure: fault class + failing op code.
     /// Deliberately coarse — a patch that "works" but lets the same kind
     /// of failure recur on the same request type is not working.
-    fn bug_signature(&self, failure: &FailureRecord) -> String {
+    ///
+    /// Sentry traps carry the faulting object's call-site, so their
+    /// signature additionally pins the patch-relevant site: a sampled
+    /// trap at one call-site must not count as a recurrence against a
+    /// patch that was installed for a *different* call-site signature.
+    fn bug_signature(&self, failure: &FailureRecord, trap: Option<&TrapRecord>) -> String {
         let op = self
             .process
             .log()
             .get(failure.input_index)
             .map(|i| i.op)
             .unwrap_or(u32::MAX);
-        format!("{}@op{}", failure.fault.class(), op)
+        match trap {
+            Some(t) => {
+                let bug = trap_bug_type(t);
+                let site = trap_seed_site(t, bug).unwrap_or(t.alloc_site);
+                format!("{}@op{op}@s{:x}", failure.fault.class(), site.leaf())
+            }
+            None => format!("{}@op{op}", failure.fault.class()),
+        }
+    }
+
+    /// Returns the sentry-tier counters: the allocator extension's
+    /// sampling/trap side merged with the runtime's diagnosis-path side.
+    pub fn sentry_metrics(&mut self) -> SentryMetrics {
+        let mut m = self.with_ext(|ext| ext.sentry_metrics().cloned().unwrap_or_default());
+        m.merge(&self.sentry_counters);
+        m
     }
 
     /// Returns the degradation-ladder counters, with the pool's
@@ -524,6 +563,7 @@ impl FirstAidRuntime {
         summary.wall_ns = self.wall_ns;
         summary.bytes_delivered = self.process.bytes_delivered;
         summary.degradation = self.degradation();
+        summary.sentry = self.sentry_metrics();
         summary
     }
 
@@ -548,6 +588,29 @@ impl FirstAidRuntime {
         self.sync_wall();
         let wall_at_failure = self.wall_ns;
 
+        // A sentry trap caught the bug at the faulting access; consume
+        // the trap record now (rollbacks below would discard it) so it
+        // can key the health monitor and seed the fast diagnosis path.
+        let trap = if failure.fault.class() == "sentry-trap" {
+            self.with_ext(|ext| ext.take_pending_trap())
+        } else {
+            None
+        };
+        if let Some(t) = &trap {
+            // The extension's counters for this trap sit in state the
+            // recovery is about to roll back; re-home the trap onto the
+            // runtime's own counters (which survive rollbacks) and drop
+            // the extension's copy so no-rollback recoveries do not
+            // count it twice.
+            let kind = t.kind;
+            self.with_ext(|ext| {
+                if let Some(e) = ext.sentry_mut() {
+                    e.metrics_mut().uncount_trap(kind);
+                }
+            });
+            self.sentry_counters.count_trap(kind);
+        }
+
         // Discard checkpoints whose checksum no longer matches before
         // anything relies on the ring: diagnosis and the ladder both
         // fall back to the next-older intact checkpoint.
@@ -565,7 +628,7 @@ impl FirstAidRuntime {
         // Patch health monitor: a recurring bug signature means the
         // patches installed for it are not working. Revoke them (fleet-
         // wide tombstone) and escalate one rung.
-        let sig = self.bug_signature(&failure);
+        let sig = self.bug_signature(&failure, trap.as_ref());
         let recurrence = {
             let entry = self.monitor.entry(sig.clone()).or_default();
             entry.count += 1;
@@ -596,7 +659,8 @@ impl FirstAidRuntime {
                     e.count = 0;
                 }
                 self.last_failure_index = Some(failure.input_index);
-                let record = self.descend_ladder(&failure, wall_at_failure, Vec::new());
+                let record =
+                    self.descend_ladder(&failure, wall_at_failure, Vec::new(), &sig, trap.as_ref());
                 return self.push_record(record);
             }
         }
@@ -611,12 +675,30 @@ impl FirstAidRuntime {
             .is_some_and(|prev| failure.input_index.saturating_sub(prev) < 20);
         self.last_failure_index = Some(failure.input_index);
         if crash_loop {
-            let record = self.descend_cheap(&failure, wall_at_failure);
+            let record = self.descend_cheap(wall_at_failure, &sig);
             return self.push_record(record);
         }
 
         let engine = DiagnosisEngine::with_faults(self.config.engine, self.config.faults.clone());
-        let outcome = engine.diagnose(&mut self.process, &self.manager);
+        // Sentry traps name the faulting call-site, so try the fast path
+        // first: one confirming re-execution seeded with the trapped
+        // site instead of the full trial ladder. When it cannot confirm
+        // (or a pipeline fault wedges it), degrade to the full ladder.
+        let outcome = match trap
+            .as_ref()
+            .and_then(|t| engine.diagnose_fast(&mut self.process, &self.manager, t))
+        {
+            Some(d) => {
+                self.sentry_counters.fast_path_diagnoses += 1;
+                DiagnosisOutcome::Diagnosed(d)
+            }
+            None => {
+                if trap.is_some() {
+                    self.sentry_counters.full_ladder_diagnoses += 1;
+                }
+                engine.diagnose(&mut self.process, &self.manager)
+            }
+        };
         self.degradation.reexec_retries += engine.retries_used();
         self.degradation.speculative_trials += engine.speculative_trials();
         self.degradation.parallel_waves += engine.parallel_waves();
@@ -647,7 +729,7 @@ impl FirstAidRuntime {
                 if log.iter().any(|l| l.contains("deadline exceeded")) {
                     self.degradation.diagnosis_timeouts += 1;
                 }
-                self.descend_ladder(&failure, wall_at_failure, log)
+                self.descend_ladder(&failure, wall_at_failure, log, &sig, trap.as_ref())
             }
             DiagnosisOutcome::Diagnosed(diagnosis) => {
                 self.wall_ns += diagnosis.elapsed_ns;
@@ -664,8 +746,13 @@ impl FirstAidRuntime {
                         "{}: diagnosis re-derived only revoked patch site(s); escalating",
                         self.program
                     ));
-                    let record =
-                        self.descend_ladder(&failure, wall_at_failure, diagnosis.log.clone());
+                    let record = self.descend_ladder(
+                        &failure,
+                        wall_at_failure,
+                        diagnosis.log.clone(),
+                        &sig,
+                        trap.as_ref(),
+                    );
                     return self.push_record(record);
                 }
                 self.pool.add(&self.program, patches.iter().cloned());
@@ -752,6 +839,7 @@ impl FirstAidRuntime {
                                         &patches,
                                         &v,
                                         &self.process.ctx.symbols,
+                                        trap.as_ref(),
                                     );
                                     (Some(v), Some(report))
                                 }
@@ -775,6 +863,12 @@ impl FirstAidRuntime {
                 }
             }
         };
+        // A trap that did not end in precise patches is a false (or at
+        // least unconfirmable) trap; feed the rate back into metrics so
+        // the bench can police sampling quality.
+        if trap.is_some() && record.kind != RecoveryKind::Patched {
+            self.sentry_counters.false_traps += 1;
+        }
         self.push_record(record)
     }
 
@@ -813,8 +907,9 @@ impl FirstAidRuntime {
         failure: &FailureRecord,
         wall_at_failure: u64,
         diag_log: Vec<String>,
+        sig: &str,
+        trap: Option<&TrapRecord>,
     ) -> RecoveryRecord {
-        let sig = self.bug_signature(failure);
         let fresh = self.arm_generic_rung();
         let patchset = self.sync_pool_patches();
         let generic_active = patchset.has_generic();
@@ -822,7 +917,7 @@ impl FirstAidRuntime {
         let Some(target) = self.manager.oldest().map(|c| c.id) else {
             // Every checkpoint was corrupt and got swept: no rollback
             // target at all. Cheapest possible recovery in place.
-            return self.descend_cheap(failure, wall_at_failure);
+            return self.descend_cheap(wall_at_failure, sig);
         };
         self.manager.rollback_to(&mut self.process, target);
         self.install_patchset(patchset);
@@ -864,7 +959,7 @@ impl FirstAidRuntime {
             // The generic rung now guards this signature; if it recurs
             // anyway, the health monitor revokes GENERIC_SITE and the
             // next descent lands on rung 3.
-            let entry = self.monitor.entry(sig).or_default();
+            let entry = self.monitor.entry(sig.to_owned()).or_default();
             entry.sites = vec![GENERIC_SITE];
         }
         let (kind, rung) = if served_through {
@@ -877,7 +972,7 @@ impl FirstAidRuntime {
             self.degradation.rollback_drops += 1;
             (RecoveryKind::Dropped, "rollback-and-drop (rung 3)")
         };
-        let report = BugReport::degraded(&self.program, failure, rung, &fresh, diag_log);
+        let report = BugReport::degraded(&self.program, failure, rung, &fresh, diag_log, trap);
         RecoveryRecord {
             kind,
             diagnosis: None,
@@ -891,13 +986,12 @@ impl FirstAidRuntime {
     /// Cheap in-place descent (crash loops, or no intact checkpoint):
     /// no rollback, no replay — arm the generic rung so prevention gets
     /// a chance to break the loop, then drop the poisoned input.
-    fn descend_cheap(&mut self, failure: &FailureRecord, wall_at_failure: u64) -> RecoveryRecord {
-        let sig = self.bug_signature(failure);
+    fn descend_cheap(&mut self, wall_at_failure: u64, sig: &str) -> RecoveryRecord {
         let fresh = self.arm_generic_rung();
         if !fresh.is_empty() {
             let patchset = self.sync_pool_patches();
             self.install_patchset(patchset);
-            let entry = self.monitor.entry(sig).or_default();
+            let entry = self.monitor.entry(sig.to_owned()).or_default();
             entry.sites = vec![GENERIC_SITE];
         }
         self.process.clear_failure();

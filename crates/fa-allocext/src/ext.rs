@@ -4,8 +4,11 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use fa_heap::Heap;
-use fa_mem::{AccessKind, Addr, SimMemory};
+use fa_mem::{AccessKind, Addr, MemFault, SimMemory};
 use fa_proc::{AllocBackend, CallSite, Clock, Fault};
+use fa_sentry::{
+    SentryConfig, SentryEngine, SentryMetrics, SlotPlacement, TrapKind, TrapRecord, SLOT_SLACK,
+};
 
 use crate::canary::{check_canary, fill_canary};
 use crate::changes::ChangePlan;
@@ -31,6 +34,11 @@ const COST_DIAG: u64 = 60;
 /// Per-access virtual cost of Pin-style instrumentation in validation
 /// mode, in ns.
 const COST_PIN_TRACE: u64 = 2_500;
+/// Virtual cost of redirecting a sampled allocation into a guarded
+/// sentry slot (mprotect-style page work), in ns.
+const COST_SENTRY_PLACE: u64 = 300;
+/// Virtual cost of poisoning a sentry slot on free, in ns.
+const COST_SENTRY_POISON: u64 = 150;
 /// Virtual cost of filling `len` bytes (canary/zero), in ns.
 fn cost_fill(len: u64) -> u64 {
     10 + len.div_ceil(8) * 2
@@ -111,6 +119,8 @@ pub struct ExtAllocator {
     /// Padding per side for the overflow change (ablation knob; the
     /// paper uses 508 = 1016 bytes per object).
     pad_each: u64,
+    /// The always-on sampling sentry tier, when enabled.
+    sentry: Option<SentryEngine>,
 }
 
 impl ExtAllocator {
@@ -136,6 +146,7 @@ impl ExtAllocator {
             dealloc_sites_seen: Vec::new(),
             dealloc_sites_set: HashSet::new(),
             pad_each: PAD_EACH_SIDE,
+            sentry: None,
         }
     }
 
@@ -151,6 +162,7 @@ impl ExtAllocator {
         self.tracing = false;
         self.track_init = false;
         self.heap.derandomize();
+        self.sync_sentry_suppression();
     }
 
     /// Switches to diagnostic mode with an environmental-change plan.
@@ -208,6 +220,56 @@ impl ExtAllocator {
     /// Returns the per-side padding size.
     pub fn padding(&self) -> u64 {
         self.pad_each
+    }
+
+    // ------------------------------------------------------------------
+    // Sentry tier (sampling-based always-on guarded slots)
+    // ------------------------------------------------------------------
+
+    /// Enables the sentry tier: roughly one in `cfg.rate` allocations is
+    /// redirected into a guarded slot. The engine clones with the
+    /// allocator, so re-execution from a checkpoint replays the exact
+    /// sampling decisions and traps.
+    pub fn enable_sentry(&mut self, cfg: SentryConfig) {
+        self.heap.set_sentry_rate(cfg.rate, cfg.seed);
+        self.sentry = Some(SentryEngine::new(cfg));
+        self.sync_sentry_suppression();
+    }
+
+    /// Returns the sentry engine, if enabled.
+    pub fn sentry(&self) -> Option<&SentryEngine> {
+        self.sentry.as_ref()
+    }
+
+    /// Returns the sentry engine mutably, if enabled.
+    pub fn sentry_mut(&mut self) -> Option<&mut SentryEngine> {
+        self.sentry.as_mut()
+    }
+
+    /// Returns the sentry metrics, if the tier is enabled.
+    pub fn sentry_metrics(&self) -> Option<&SentryMetrics> {
+        self.sentry.as_ref().map(|e| e.metrics())
+    }
+
+    /// Consumes the latched sentry trap, if any.
+    pub fn take_pending_trap(&mut self) -> Option<TrapRecord> {
+        self.sentry.as_mut().and_then(|e| e.take_pending())
+    }
+
+    /// Returns the latched sentry trap without consuming it.
+    pub fn peek_pending_trap(&self) -> Option<&TrapRecord> {
+        self.sentry.as_ref().and_then(|e| e.peek_pending())
+    }
+
+    /// Sites covered by an installed patch are never sampled: the patch
+    /// already prevents the bug there, fleet-wide, so the slot budget is
+    /// spent where something is still unknown.
+    fn sync_sentry_suppression(&mut self) {
+        if let Some(engine) = self.sentry.as_mut() {
+            let sites: Vec<CallSite> = self.patches.patches().iter().map(|p| p.site).collect();
+            let all = self.patches.has_generic();
+            engine.sampler_mut().set_suppressed(sites, all);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -288,6 +350,14 @@ impl ExtAllocator {
         for info in self.table.iter() {
             let Some(pad) = info.pad else { continue };
             if !pad.canary {
+                continue;
+            }
+            // Poisoned sentry slots are trap-on-access; their canaries
+            // cannot (and need not) be rescanned.
+            if info
+                .sentried
+                .is_some_and(|s| self.sentry.as_ref().is_some_and(|e| e.is_poisoned(s)))
+            {
                 continue;
             }
             if let Some((off, _)) = check_canary(mem, info.outer, pad.left)? {
@@ -410,6 +480,31 @@ impl AllocBackend for ExtAllocator {
         }
         self.note_alloc_site(site);
         let (pad, pad_canary, fill, patch_idx) = self.alloc_changes(site);
+
+        // Sentry tier: maybe redirect this allocation into a guarded
+        // slot. The decision sequence is a pure function of the
+        // allocation trace, so checkpointed re-execution replays it.
+        if self.sentry.is_some() {
+            let tick = self.heap.sentry_tick();
+            let engine = self.sentry.as_mut().expect("sentry checked above");
+            if engine.sampler_mut().decide(site, tick) {
+                // Plan/patch padding moves inside the slot, so the pad
+                // request inflates the size the slot must hold.
+                let extra = if pad { 2 * self.pad_each } else { 0 };
+                match engine.place(mem, req + extra) {
+                    Some(placement) => {
+                        return self.sentry_malloc(
+                            mem, clock, req, site, placement, pad, pad_canary, fill, patch_idx,
+                        );
+                    }
+                    // Nothing fit (arena full, poison ring shallow, or
+                    // object too large): fall through to the heap and
+                    // keep the site from heating up.
+                    None => engine.sampler_mut().undo_sample(site),
+                }
+            }
+        }
+
         let (left, right) = if pad {
             (self.pad_each, self.pad_each)
         } else {
@@ -479,6 +574,7 @@ impl AllocBackend for ExtAllocator {
             canary_filled: fill == Fill::Canary,
             state: ObjState::Live,
             written: self.track_init.then(IntervalSet::new),
+            sentried: None,
         });
         if self.tracing {
             self.trace.push(TraceEvent::Alloc {
@@ -513,6 +609,11 @@ impl AllocBackend for ExtAllocator {
         };
 
         if let ObjState::Quarantined { freed_site, .. } = info.state {
+            let seq = info.seq;
+            let poisoned_slot = info
+                .sentried
+                .filter(|&s| self.sentry.as_ref().is_some_and(|e| e.is_poisoned(s)));
+            let (alloc_site, size) = (info.alloc_site, info.size);
             // Parameter check (paper Table 1, double free row): the object
             // is already free but still quarantined — record and neutralize.
             self.manifests.push(Manifestation::DoubleFree {
@@ -521,13 +622,37 @@ impl AllocBackend for ExtAllocator {
                 user: addr,
             });
             if self.tracing {
-                let seq = info.seq;
                 self.trace.push(TraceEvent::Dealloc {
                     seq,
                     user: addr,
                     site,
                     delayed_by: None,
                 });
+            }
+            if let Some(slot) = poisoned_slot {
+                // The first free poisoned the slot (no delay-free change
+                // was shielding it), so this second free is a caught
+                // double free, not a silent neutralization.
+                let rec = TrapRecord {
+                    kind: TrapKind::DoubleFreeSlot,
+                    access: None,
+                    addr,
+                    len: size,
+                    alloc_site,
+                    free_site: Some(freed_site),
+                    access_site: Some(site),
+                    size,
+                    slot,
+                };
+                self.sentry
+                    .as_mut()
+                    .expect("poisoned slot implies engine")
+                    .record_trap(rec);
+                return Err(Fault::Mem(MemFault::GuardTrap {
+                    addr,
+                    kind: AccessKind::Write,
+                    len: size,
+                }));
             }
             return Ok(());
         }
@@ -553,6 +678,8 @@ impl AllocBackend for ExtAllocator {
         let outer = info.outer;
         let outer_size = info.outer_size;
         let pad = info.pad;
+        let sentried = info.sentried;
+        let alloc_site = info.alloc_site;
 
         if let Some(idx) = patch_idx {
             *self.counters.patch_triggers.entry(idx).or_insert(0) += 1;
@@ -604,39 +731,85 @@ impl AllocBackend for ExtAllocator {
             return Ok(());
         }
 
-        // Real free: before the object vanishes, harvest any canary
-        // evidence from its padding.
+        // Real free: before the object vanishes (or its slot is
+        // poisoned), harvest any canary evidence from its padding.
+        let mut slack_corrupt = false;
         if let Some(p) = pad {
             if p.canary {
                 if let Some((off, _)) = check_canary(mem, outer, p.left)? {
+                    slack_corrupt = true;
                     self.manifests.push(Manifestation::PaddingCorrupt {
-                        alloc_site: self
-                            .table
-                            .get_by_user(addr)
-                            .map(|o| o.alloc_site)
-                            .unwrap_or_default(),
+                        alloc_site,
                         user,
                         right_side: false,
                         offset: off,
                     });
                 }
                 if let Some((off, _)) = check_canary(mem, user.offset(size), p.right)? {
+                    slack_corrupt = true;
                     self.manifests.push(Manifestation::PaddingCorrupt {
-                        alloc_site: self
-                            .table
-                            .get_by_user(addr)
-                            .map(|o| o.alloc_site)
-                            .unwrap_or_default(),
+                        alloc_site,
                         user,
                         right_side: true,
                         offset: off,
                     });
                 }
             }
-            self.counters.cur_padding_bytes = self
-                .counters
-                .cur_padding_bytes
-                .saturating_sub(p.left + p.right);
+            if sentried.is_none() {
+                self.counters.cur_padding_bytes = self
+                    .counters
+                    .cur_padding_bytes
+                    .saturating_sub(p.left + p.right);
+            }
+        }
+        if let Some(slot) = sentried {
+            // Sentried objects are not returned to the heap: the slot is
+            // poisoned (trap-on-access) and sits in the recycle ring, so
+            // dangling accesses keep trapping long after this free. The
+            // object stays in the table for attribution.
+            clock.advance(COST_SENTRY_POISON);
+            if let Some(obj) = self.table.get_by_user_mut(addr) {
+                obj.state = ObjState::Quarantined {
+                    freed_site: site,
+                    canary: false,
+                };
+            }
+            let engine = self.sentry.as_mut().expect("sentried implies engine");
+            engine.poison(mem, slot);
+            engine.charge_overhead(COST_SENTRY_POISON);
+            if self.tracing {
+                self.trace.push(TraceEvent::Dealloc {
+                    seq,
+                    user,
+                    site,
+                    delayed_by: None,
+                });
+            }
+            // Corrupt slot slack with no padding change active is silent
+            // overflow evidence that would otherwise go unnoticed.
+            if slack_corrupt && pad.is_some_and(|p| p.left == SLOT_SLACK) {
+                let rec = TrapRecord {
+                    kind: TrapKind::CanaryOnFree,
+                    access: None,
+                    addr,
+                    len: size,
+                    alloc_site,
+                    free_site: Some(site),
+                    access_site: Some(site),
+                    size,
+                    slot,
+                };
+                self.sentry
+                    .as_mut()
+                    .expect("sentried implies engine")
+                    .record_trap(rec);
+                return Err(Fault::Mem(MemFault::GuardTrap {
+                    addr,
+                    kind: AccessKind::Write,
+                    len: size,
+                }));
+            }
+            return Ok(());
         }
         self.table.remove_by_user(addr);
         self.heap.free(mem, outer)?;
@@ -701,9 +874,15 @@ impl AllocBackend for ExtAllocator {
         len: u64,
         kind: AccessKind,
         site: CallSite,
-    ) {
+    ) -> Result<(), Fault> {
         if self.mode == ExtMode::Normal && !self.tracing {
-            return;
+            // Production fast path: plain accesses cost nothing. Only
+            // the sentry arena (if any) needs a closer look — an MMU
+            // range check in the real system.
+            match &self.sentry {
+                Some(engine) if engine.contains(addr) => {}
+                _ => return Ok(()),
+            }
         }
         clock.advance(4);
         if self.mode == ExtMode::Validation {
@@ -714,16 +893,36 @@ impl AllocBackend for ExtAllocator {
         }
         let tracing = self.tracing;
         let mut illegal: Option<(IllegalKind, u64, u64, Option<usize>)> = None;
+        let mut trap: Option<TrapRecord> = None;
         if let Some(info) = self.table.find_containing_mut(addr) {
             let end = addr.0 + len;
             match &info.state {
-                ObjState::Quarantined { .. } => {
+                ObjState::Quarantined { freed_site, .. } => {
+                    let freed_site = *freed_site;
                     let offset = addr.0.saturating_sub(info.user.0);
                     let ik = match kind {
                         AccessKind::Read => IllegalKind::QuarantineRead,
                         AccessKind::Write => IllegalKind::QuarantineWrite,
                     };
                     illegal = Some((ik, info.seq, offset, None));
+                    // A poisoned sentry slot traps the dangling access;
+                    // a delay-free change (quarantine) neutralizes it
+                    // instead, so preventive trials stay clean.
+                    if let Some(slot) = info.sentried {
+                        if self.sentry.as_ref().is_some_and(|e| e.is_poisoned(slot)) {
+                            trap = Some(TrapRecord {
+                                kind: TrapKind::PoisonAccess,
+                                access: Some(kind),
+                                addr,
+                                len,
+                                alloc_site: info.alloc_site,
+                                free_site: Some(freed_site),
+                                access_site: Some(site),
+                                size: info.size,
+                                slot,
+                            });
+                        }
+                    }
                 }
                 ObjState::Live => {
                     if info.in_user(addr) {
@@ -747,6 +946,24 @@ impl AllocBackend for ExtAllocator {
                                     // the object was zero-filled.
                                     let patch = info.zero_filled.then_some(0usize);
                                     illegal = Some((IllegalKind::UninitRead, info.seq, off, patch));
+                                    // Sentried objects always track writes,
+                                    // so this is caught even in production —
+                                    // unless a fill change defused it.
+                                    if let Some(slot) = info.sentried {
+                                        if !info.zero_filled && !info.canary_filled {
+                                            trap = Some(TrapRecord {
+                                                kind: TrapKind::UninitReadSlot,
+                                                access: Some(kind),
+                                                addr,
+                                                len,
+                                                alloc_site: info.alloc_site,
+                                                free_site: None,
+                                                access_site: Some(site),
+                                                size: info.size,
+                                                slot,
+                                            });
+                                        }
+                                    }
                                     // Report each uninit read once.
                                     if let Some(w) = info.written.as_mut() {
                                         w.insert(off, end_off);
@@ -757,8 +974,43 @@ impl AllocBackend for ExtAllocator {
                     } else if info.in_padding(addr) && kind == AccessKind::Write {
                         let offset = addr.0 - info.outer.0;
                         illegal = Some((IllegalKind::PaddingWrite, info.seq, offset, None));
+                        // Pure slot slack (no padding change in play)
+                        // catches the overflow in flight; a padding
+                        // change absorbs or canaries it instead.
+                        if let Some(slot) = info.sentried {
+                            if info.pad.is_some_and(|p| p.left == SLOT_SLACK) {
+                                trap = Some(TrapRecord {
+                                    kind: TrapKind::GuardHit,
+                                    access: Some(kind),
+                                    addr,
+                                    len,
+                                    alloc_site: info.alloc_site,
+                                    free_site: None,
+                                    access_site: Some(site),
+                                    size: info.size,
+                                    slot,
+                                });
+                            }
+                        }
                     }
                 }
+            }
+        } else if let Some(engine) = self.sentry.as_ref() {
+            // No tracked object contains the address. Inside the arena
+            // that means a guard page, slot no-man's land, or a recycled
+            // slot — all wild accesses worth trapping.
+            if let Some(slot) = engine.slot_of(addr) {
+                trap = Some(TrapRecord {
+                    kind: TrapKind::GuardHit,
+                    access: Some(kind),
+                    addr,
+                    len,
+                    alloc_site: CallSite::default(),
+                    free_site: None,
+                    access_site: Some(site),
+                    size: 0,
+                    slot,
+                });
             }
         }
         if let Some((ik, obj_seq, offset, patch)) = illegal {
@@ -779,6 +1031,14 @@ impl AllocBackend for ExtAllocator {
                 });
             }
         }
+        if let Some(rec) = trap {
+            self.sentry
+                .as_mut()
+                .expect("trap implies engine")
+                .record_trap(rec);
+            return Err(Fault::Mem(MemFault::GuardTrap { addr, kind, len }));
+        }
+        Ok(())
     }
 
     fn heap(&self) -> &Heap {
@@ -803,6 +1063,102 @@ impl AllocBackend for ExtAllocator {
 }
 
 impl ExtAllocator {
+    /// Finishes a sampled allocation inside a guarded sentry slot.
+    ///
+    /// Layout inside the slot's data page (guard pages on both sides):
+    /// `[slack | plan padding? | object | plan padding? | slack …]`. Any
+    /// padding change the plan or a patch requested moves inside the
+    /// slot, so trials behave exactly as they would on the heap; the
+    /// 16-byte slack is the sentry's own canary when no change is
+    /// active.
+    #[allow(clippy::too_many_arguments)]
+    fn sentry_malloc(
+        &mut self,
+        mem: &mut SimMemory,
+        clock: &mut Clock,
+        req: u64,
+        site: CallSite,
+        placement: SlotPlacement,
+        pad: bool,
+        pad_canary: bool,
+        fill: Fill,
+        patch_idx: Option<usize>,
+    ) -> Result<Addr, Fault> {
+        clock.advance(COST_SENTRY_PLACE);
+        let extra = if pad { self.pad_each } else { 0 };
+        let left = SLOT_SLACK + extra;
+        let right = SLOT_SLACK + extra;
+        let outer = placement.data;
+        let user = outer.offset(left);
+        // Pure slack is always canaried; a padding change keeps its own
+        // exposing/preventive flag for the whole region.
+        let canary = if pad { pad_canary } else { true };
+        if canary {
+            clock.advance(cost_fill(left + right));
+            fill_canary(mem, outer, left)?;
+            fill_canary(mem, user.offset(req), right)?;
+        }
+        if pad {
+            self.counters.objects_padded += 1;
+            self.note_change(site);
+        }
+        match fill {
+            Fill::None => {}
+            Fill::Zero => {
+                clock.advance(cost_fill(req));
+                mem.fill(user, req, 0)?;
+                self.counters.objects_zero_filled += 1;
+                self.note_change(site);
+            }
+            Fill::Canary => {
+                clock.advance(cost_fill(req));
+                fill_canary(mem, user, req)?;
+                self.counters.objects_canary_filled += 1;
+                self.note_change(site);
+            }
+        }
+        if let Some(idx) = patch_idx {
+            *self.counters.patch_triggers.entry(idx).or_insert(0) += 1;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.table.insert(ObjectInfo {
+            user,
+            size: req,
+            outer,
+            outer_size: left + req + right,
+            alloc_site: site,
+            seq,
+            pad: Some(PadInfo {
+                left,
+                right,
+                canary,
+            }),
+            zero_filled: fill == Fill::Zero,
+            canary_filled: fill == Fill::Canary,
+            state: ObjState::Live,
+            // Always tracked, so uninitialized reads of sampled objects
+            // are caught even in production mode.
+            written: Some(IntervalSet::new()),
+            sentried: Some(placement.slot),
+        });
+        if let Some(engine) = self.sentry.as_mut() {
+            engine.charge_overhead(
+                COST_SENTRY_PLACE + if canary { cost_fill(left + right) } else { 0 },
+            );
+        }
+        if self.tracing {
+            self.trace.push(TraceEvent::Alloc {
+                seq,
+                user,
+                size: req,
+                site,
+                patch: patch_idx,
+            });
+        }
+        Ok(user)
+    }
+
     /// Really deallocates a quarantined object (eviction path), checking
     /// its canary first.
     fn really_free(&mut self, mem: &mut SimMemory, user: Addr) -> Result<(), Fault> {
@@ -822,13 +1178,24 @@ impl ExtAllocator {
             }
         }
         let outer = info.outer;
+        let sentried = info.sentried;
         if let Some(p) = info.pad {
-            self.counters.cur_padding_bytes = self
-                .counters
-                .cur_padding_bytes
-                .saturating_sub(p.left + p.right);
+            if sentried.is_none() {
+                self.counters.cur_padding_bytes = self
+                    .counters
+                    .cur_padding_bytes
+                    .saturating_sub(p.left + p.right);
+            }
         }
         self.table.remove_by_user(user);
+        if let Some(slot) = sentried {
+            // The slot goes back to the free list unpoisoned: the object
+            // left through the ordinary delayed-free quarantine.
+            if let Some(engine) = self.sentry.as_mut() {
+                engine.release(mem, slot);
+            }
+            return Ok(());
+        }
         self.heap.free(mem, outer)?;
         Ok(())
     }
@@ -1150,7 +1517,8 @@ mod tests {
         );
         let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
         // Overflow into the padding: the observe hook classifies it.
-        ext.observe_access(&mut clock, a.offset(70), 8, AccessKind::Write, site(5));
+        ext.observe_access(&mut clock, a.offset(70), 8, AccessKind::Write, site(5))
+            .unwrap();
         mem.write_u64(a.offset(70), 1).unwrap();
         let trace = ext.trace();
         assert!(trace
@@ -1171,15 +1539,19 @@ mod tests {
         let (mut mem, mut ext, mut clock) = setup();
         ext.set_validation(PatchSet::new(), 1);
         let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
-        ext.observe_access(&mut clock, a, 8, AccessKind::Write, site(5));
+        ext.observe_access(&mut clock, a, 8, AccessKind::Write, site(5))
+            .unwrap();
         // Initialized read: fine.
-        ext.observe_access(&mut clock, a, 8, AccessKind::Read, site(5));
+        ext.observe_access(&mut clock, a, 8, AccessKind::Read, site(5))
+            .unwrap();
         assert_eq!(ext.counters().uninit_reads, 0);
         // Read past the written prefix: uninit.
-        ext.observe_access(&mut clock, a.offset(8), 8, AccessKind::Read, site(5));
+        ext.observe_access(&mut clock, a.offset(8), 8, AccessKind::Read, site(5))
+            .unwrap();
         assert_eq!(ext.counters().uninit_reads, 1);
         // Same read again: reported once.
-        ext.observe_access(&mut clock, a.offset(8), 8, AccessKind::Read, site(5));
+        ext.observe_access(&mut clock, a.offset(8), 8, AccessKind::Read, site(5))
+            .unwrap();
         assert_eq!(ext.counters().uninit_reads, 1);
     }
 
@@ -1189,8 +1561,10 @@ mod tests {
         ext.set_diagnostic(ChangePlan::all_preventive());
         let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
         ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
-        ext.observe_access(&mut clock, a.offset(4), 8, AccessKind::Read, site(5));
-        ext.observe_access(&mut clock, a.offset(4), 8, AccessKind::Write, site(5));
+        ext.observe_access(&mut clock, a.offset(4), 8, AccessKind::Read, site(5))
+            .unwrap();
+        ext.observe_access(&mut clock, a.offset(4), 8, AccessKind::Write, site(5))
+            .unwrap();
         assert_eq!(ext.counters().quarantine_reads, 1);
         assert_eq!(ext.counters().quarantine_writes, 1);
     }
@@ -1248,6 +1622,203 @@ mod tests {
             .realloc(&mut mem, &mut clock, p, 64, site(1))
             .unwrap_err();
         assert!(matches!(err, Fault::Heap(_)), "{err}");
+    }
+
+    fn sentry_setup() -> (SimMemory, ExtAllocator, Clock) {
+        let (mem, mut ext, clock) = setup();
+        // Rate 1: every allocation ticks, so every site is sampled.
+        ext.enable_sentry(SentryConfig {
+            rate: 1,
+            hot_threshold: u64::MAX,
+            ..SentryConfig::default()
+        });
+        (mem, ext, clock)
+    }
+
+    #[test]
+    fn sentry_poison_traps_dangling_read_in_normal_mode() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        assert!(ext.table().get_by_user(a).unwrap().sentried.is_some());
+        ext.observe_access(&mut clock, a, 8, AccessKind::Write, site(4))
+            .unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        // Dangling read through the stale pointer traps.
+        let err = ext
+            .observe_access(&mut clock, a, 8, AccessKind::Read, site(3))
+            .unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+        let trap = ext.take_pending_trap().unwrap();
+        assert_eq!(trap.kind, TrapKind::PoisonAccess);
+        assert_eq!(trap.alloc_site, site(1));
+        assert_eq!(trap.free_site, Some(site(2)));
+        assert_eq!(trap.access_site, Some(site(3)));
+        // The illegal-access evidence the full ladder relies on is still
+        // recorded.
+        assert_eq!(ext.counters().quarantine_reads, 1);
+    }
+
+    #[test]
+    fn sentry_slack_traps_overflow_write_in_flight() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let err = ext
+            .observe_access(&mut clock, a.offset(64), 4, AccessKind::Write, site(7))
+            .unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+        let trap = ext.take_pending_trap().unwrap();
+        assert_eq!(trap.kind, TrapKind::GuardHit);
+        assert_eq!(trap.alloc_site, site(1));
+        assert_eq!(ext.counters().padding_writes, 1);
+    }
+
+    #[test]
+    fn sentry_double_free_traps() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        let err = ext.free(&mut mem, &mut clock, a, site(3)).unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+        let trap = ext.take_pending_trap().unwrap();
+        assert_eq!(trap.kind, TrapKind::DoubleFreeSlot);
+        assert_eq!(trap.free_site, Some(site(2)));
+        assert!(ext
+            .manifestations()
+            .iter()
+            .any(|m| m.bug_type() == Some(BugType::DoubleFree)));
+    }
+
+    #[test]
+    fn sentry_uninit_read_traps() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let err = ext
+            .observe_access(&mut clock, a, 8, AccessKind::Read, site(5))
+            .unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+        assert_eq!(
+            ext.take_pending_trap().unwrap().kind,
+            TrapKind::UninitReadSlot
+        );
+        assert_eq!(ext.counters().uninit_reads, 1);
+    }
+
+    #[test]
+    fn sentry_slack_corruption_is_caught_on_free() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        // Unobserved overflow (e.g. through code the hook cannot see):
+        // the canary slack still convicts it at free time.
+        mem.write(a.offset(64), &[0x77; 4]).unwrap();
+        let err = ext.free(&mut mem, &mut clock, a, site(2)).unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+        assert_eq!(
+            ext.take_pending_trap().unwrap().kind,
+            TrapKind::CanaryOnFree
+        );
+        assert!(ext
+            .manifestations()
+            .iter()
+            .any(|m| m.bug_type() == Some(BugType::BufferOverflow)));
+    }
+
+    #[test]
+    fn delay_free_patch_neutralizes_sentry_poisoning() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let symbols = SymbolTable::new();
+        ext.set_normal(PatchSet::from_patches([Patch::new(
+            BugType::DanglingRead,
+            site(2),
+            &symbols,
+        )]));
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+        // Patched delay-free quarantines instead of poisoning: the
+        // dangling read is neutralized, not trapped, so the patch-health
+        // monitor never sees a recurrence.
+        ext.observe_access(&mut clock, a, 8, AccessKind::Read, site(3))
+            .unwrap();
+        assert!(ext.peek_pending_trap().is_none());
+        assert_eq!(ext.counters().quarantine_reads, 1);
+        ext.flush_quarantine(&mut mem).unwrap();
+        assert!(ext.table().is_empty());
+    }
+
+    #[test]
+    fn patched_sites_are_not_sampled() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let symbols = SymbolTable::new();
+        ext.set_normal(PatchSet::from_patches([Patch::new(
+            BugType::BufferOverflow,
+            site(1),
+            &symbols,
+        )]));
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let b = ext.malloc(&mut mem, &mut clock, 64, site(2)).unwrap();
+        assert!(ext.table().get_by_user(a).unwrap().sentried.is_none());
+        assert!(ext.table().get_by_user(b).unwrap().sentried.is_some());
+    }
+
+    #[test]
+    fn sentried_plan_padding_absorbs_overflow_in_trials() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        ext.set_diagnostic(ChangePlan::all_preventive());
+        let a = ext.malloc(&mut mem, &mut clock, 64, site(1)).unwrap();
+        let info = ext.table().get_by_user(a).unwrap();
+        assert!(info.sentried.is_some());
+        assert!(
+            info.pad.unwrap().left > SLOT_SLACK,
+            "plan pad moved into slot"
+        );
+        // The overflow lands in the preventive padding inside the slot:
+        // absorbed, counted, not trapped — trials behave as on the heap.
+        ext.observe_access(&mut clock, a.offset(64), 4, AccessKind::Write, site(7))
+            .unwrap();
+        assert!(ext.peek_pending_trap().is_none());
+        assert_eq!(ext.counters().padding_writes, 1);
+        ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
+    }
+
+    #[test]
+    fn sentried_realloc_moves_and_poisons_old_slot() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let a = ext.malloc(&mut mem, &mut clock, 32, site(1)).unwrap();
+        ext.observe_access(&mut clock, a, 32, AccessKind::Write, site(1))
+            .unwrap();
+        mem.write(a, b"0123456789abcdefghijklmnopqrstuv").unwrap();
+        let b = ext.realloc(&mut mem, &mut clock, a, 128, site(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(
+            mem.read_bytes(b, 32).unwrap(),
+            b"0123456789abcdefghijklmnopqrstuv"
+        );
+        // The old slot is poisoned; a stale read through it traps.
+        let err = ext
+            .observe_access(&mut clock, a, 8, AccessKind::Read, site(9))
+            .unwrap_err();
+        assert_eq!(err.class(), "sentry-trap");
+    }
+
+    #[test]
+    fn sentry_decisions_replay_after_clone() {
+        let (mut mem, mut ext, mut clock) = sentry_setup();
+        let mut ext2 = ext.clone();
+        let mut mem2 = mem.clone();
+        let mut clock2 = Clock::new();
+        let mut sampled = Vec::new();
+        let mut sampled2 = Vec::new();
+        for i in 0..200u64 {
+            let s = site(i % 7);
+            let a = ext.malloc(&mut mem, &mut clock, 40, s).unwrap();
+            sampled.push(ext.table().get_by_user(a).unwrap().sentried);
+            let b = ext2.malloc(&mut mem2, &mut clock2, 40, s).unwrap();
+            sampled2.push(ext2.table().get_by_user(b).unwrap().sentried);
+            if i % 3 == 0 {
+                ext.free(&mut mem, &mut clock, a, site(50)).unwrap();
+                ext2.free(&mut mem2, &mut clock2, b, site(50)).unwrap();
+            }
+        }
+        assert_eq!(sampled, sampled2, "cloned allocators replay decisions");
     }
 
     #[test]

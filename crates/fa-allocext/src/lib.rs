@@ -48,3 +48,8 @@ pub use intervals::IntervalSet;
 pub use objtable::{ObjState, ObjectInfo, ObjectTable, PadInfo};
 pub use patch::{Patch, PatchSet, PreventiveChange, GENERIC_SITE};
 pub use quarantine::{Quarantine, DEFAULT_QUARANTINE_BYTES};
+
+// The sentry tier (sampling-based guarded slots) plugs into the
+// extension as an environmental-change peer; re-export its surface so
+// downstream crates need not depend on `fa-sentry` directly.
+pub use fa_sentry::{SentryConfig, SentryEngine, SentryMetrics, TrapKind, TrapRecord, SLOT_SLACK};

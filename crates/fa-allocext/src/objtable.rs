@@ -68,6 +68,9 @@ pub struct ObjectInfo {
     /// Initialized (written) byte ranges, tracked when an uninit-read
     /// change or tracing is active.
     pub written: Option<IntervalSet>,
+    /// The index of the guarded sentry slot this object was redirected
+    /// into, when it was sampled by the sentry tier.
+    pub sentried: Option<usize>,
 }
 
 impl ObjectInfo {
@@ -184,6 +187,7 @@ mod tests {
             canary_filled: false,
             state: ObjState::Live,
             written: None,
+            sentried: None,
         }
     }
 

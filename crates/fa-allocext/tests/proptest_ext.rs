@@ -77,7 +77,8 @@ fn run_script(ops: &[Op], configure: impl FnOnce(&mut ExtAllocator)) {
                 }
                 let slot = *idx as usize % live.len();
                 let (p, size, _) = live[slot];
-                ext.observe_access(&mut clock, p, size, fa_mem::AccessKind::Write, site(0));
+                ext.observe_access(&mut clock, p, size, fa_mem::AccessKind::Write, site(0))
+                    .unwrap();
                 mem.fill(p, size, *stamp).unwrap();
                 live[slot].2 = *stamp;
             }
@@ -87,7 +88,8 @@ fn run_script(ops: &[Op], configure: impl FnOnce(&mut ExtAllocator)) {
                 }
                 let slot = *idx as usize % live.len();
                 let (p, size, stamp) = live[slot];
-                ext.observe_access(&mut clock, p, size, fa_mem::AccessKind::Read, site(0));
+                ext.observe_access(&mut clock, p, size, fa_mem::AccessKind::Read, site(0))
+                    .unwrap();
                 let data = mem.read_bytes(p, size).unwrap();
                 assert!(
                     data.iter().all(|&b| b == stamp),

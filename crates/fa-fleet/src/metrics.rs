@@ -1,6 +1,6 @@
 //! Fleet metrics: per-worker reports and the fleet-wide aggregate.
 
-use first_aid_core::DegradationMetrics;
+use first_aid_core::{DegradationMetrics, SentryMetrics};
 use serde::Serialize;
 
 /// Everything one worker measured over a fleet run.
@@ -42,6 +42,8 @@ pub struct WorkerReport {
     /// Degradation-ladder counters, cumulative across relaunches (pool
     /// persistence health is reported fleet-wide, not per worker).
     pub degradation: DegradationMetrics,
+    /// Sentry-tier counters, cumulative across relaunches.
+    pub sentry: SentryMetrics,
     /// `(window start s, MB/s)` throughput series.
     pub series: Vec<(f64, f64)>,
 }
@@ -81,6 +83,8 @@ pub struct FleetReport {
     /// Merged degradation-ladder counters; the supervisor overlays the
     /// shared pool's persistence health after aggregation.
     pub degradation: DegradationMetrics,
+    /// Merged sentry-tier counters across workers.
+    pub sentry: SentryMetrics,
 }
 
 impl FleetReport {
@@ -162,11 +166,14 @@ impl FleetMetrics {
         };
         let sum = |f: fn(&WorkerReport) -> usize| self.workers.iter().map(f).sum();
         let mut degradation = DegradationMetrics::default();
+        let mut sentry = SentryMetrics::default();
         for w in &self.workers {
             degradation.merge(&w.degradation);
+            sentry.merge(&w.sentry);
         }
         FleetReport {
             degradation,
+            sentry,
             served: sum(|w| w.served),
             failures: sum(|w| w.failures),
             recoveries: sum(|w| w.recoveries),

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use fa_proc::Input;
 use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
 
-use first_aid_core::DegradationMetrics;
+use first_aid_core::{DegradationMetrics, SentryMetrics};
 
 use crate::metrics::WorkerReport;
 use crate::supervisor::BackoffConfig;
@@ -33,9 +33,10 @@ struct Folded {
     dropped: usize,
     rollbacks: usize,
     degradation: DegradationMetrics,
+    sentry: SentryMetrics,
 }
 
-fn fold(runtime: &FirstAidRuntime, into: &mut Folded) {
+fn fold(runtime: &mut FirstAidRuntime, into: &mut Folded) {
     let h = runtime.health();
     into.recoveries += h.recoveries;
     into.patched += h.patched;
@@ -52,6 +53,7 @@ fn fold(runtime: &FirstAidRuntime, into: &mut Folded) {
     d.pool_io_errors = 0;
     d.pool_degraded = false;
     into.degradation.merge(&d);
+    into.sentry.merge(&runtime.sentry_metrics());
 }
 
 /// Drains `jobs` through one supervised process until the channel closes.
@@ -139,7 +141,7 @@ pub(crate) fn run(
             // restart baseline as last resort). Patches it contributed
             // stay in the pool and are re-installed at launch; revoked
             // sites stay tombstoned.
-            fold(&runtime, &mut folded);
+            fold(&mut runtime, &mut folded);
             wall_base += runtime.wall_ns() + params.restart_cost_ns;
             bytes_base += runtime.process().bytes_delivered;
             runtime = launch();
@@ -154,12 +156,13 @@ pub(crate) fn run(
         );
     }
 
-    fold(&runtime, &mut folded);
+    fold(&mut runtime, &mut folded);
     report.recoveries = folded.recoveries;
     report.patched = folded.patched;
     report.dropped = folded.dropped;
     report.rollbacks = folded.rollbacks;
     report.degradation = folded.degradation;
+    report.sentry = folded.sentry;
     report.wall_ns = wall_base + runtime.wall_ns();
     report.bytes = bytes_base + runtime.process().bytes_delivered;
     report.series = sampler.series();

@@ -76,7 +76,57 @@ pub struct Heap {
     bins: BTreeMap<u64, BTreeSet<u64>>,
     /// Placement randomization for validation mode (paper §5).
     rng: Option<SmallRng>,
+    /// Sampling hook on the alloc fast path (sentry tier).
+    sentry: Option<SentryHook>,
     stats: HeapStats,
+}
+
+/// Seeded countdown deciding which allocations the sentry tier samples
+/// (GWP-ASan style): the next sample is `U[1, 2·rate)` allocations away,
+/// so the long-run frequency is `1/rate` without a fixed stride an
+/// allocation pattern could alias against. The state is a splitmix64
+/// stream, so cloning the heap (checkpointing) clones the exact decision
+/// sequence — replay determinism.
+#[derive(Clone, Debug)]
+struct SentryHook {
+    rate: u32,
+    state: u64,
+    countdown: u32,
+}
+
+impl SentryHook {
+    fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_interval(state: &mut u64, rate: u32) -> u32 {
+        let span = (2 * rate.max(1) as u64).saturating_sub(1).max(1);
+        1 + (Self::next_u64(state) % span) as u32
+    }
+
+    fn new(rate: u32, seed: u64) -> SentryHook {
+        let mut state = seed ^ 0x5e17_a1d5_e17a_1d05;
+        let countdown = Self::next_interval(&mut state, rate);
+        SentryHook {
+            rate,
+            state,
+            countdown,
+        }
+    }
+
+    fn tick(&mut self) -> bool {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = Self::next_interval(&mut self.state, self.rate);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Heap {
@@ -116,6 +166,7 @@ impl Heap {
             top: base,
             bins: BTreeMap::new(),
             rng: None,
+            sentry: None,
             stats: HeapStats {
                 heap_bytes: config.initial,
                 ..HeapStats::default()
@@ -138,6 +189,23 @@ impl Heap {
     /// Disables placement randomization.
     pub fn derandomize(&mut self) {
         self.rng = None;
+    }
+
+    /// Arms the sentry sampling hook: roughly one in `rate` allocations
+    /// reported through [`Heap::sentry_tick`] is selected, on a seeded
+    /// deterministic schedule. `rate == 0` disarms the hook.
+    pub fn set_sentry_rate(&mut self, rate: u32, seed: u64) {
+        self.sentry = (rate > 0).then(|| SentryHook::new(rate, seed));
+    }
+
+    /// Fast-path sampling decision for one allocation: `true` if the
+    /// sentry tier should redirect it into a guarded slot. Costs one
+    /// decrement on the non-sampled path.
+    pub fn sentry_tick(&mut self) -> bool {
+        match &mut self.sentry {
+            Some(hook) => hook.tick(),
+            None => false,
+        }
     }
 
     /// Returns the heap base address.
@@ -554,6 +622,52 @@ impl Heap {
     /// Returns the region id backing this heap.
     pub fn region(&self) -> RegionId {
         self.region
+    }
+}
+
+#[cfg(test)]
+mod sentry_tests {
+    use super::*;
+
+    fn heap() -> (SimMemory, Heap) {
+        let mut mem = SimMemory::new();
+        let heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
+        (mem, heap)
+    }
+
+    #[test]
+    fn disarmed_hook_never_samples() {
+        let (_mem, mut h) = heap();
+        assert!((0..10_000).all(|_| !h.sentry_tick()));
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_rate() {
+        let (_mem, mut h) = heap();
+        h.set_sentry_rate(64, 42);
+        let hits = (0..64_000).filter(|_| h.sentry_tick()).count();
+        // Mean interval is `rate`; allow generous slack for variance.
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn tick_sequence_is_deterministic_and_cloned() {
+        let (_mem, mut a) = heap();
+        a.set_sentry_rate(8, 7);
+        let mut b = a.clone();
+        let sa: Vec<bool> = (0..1000).map(|_| a.sentry_tick()).collect();
+        let sb: Vec<bool> = (0..1000).map(|_| b.sentry_tick()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&s| s));
+    }
+
+    #[test]
+    fn rate_zero_disarms() {
+        let (_mem, mut h) = heap();
+        h.set_sentry_rate(4, 1);
+        assert!((0..100).any(|_| h.sentry_tick()));
+        h.set_sentry_rate(0, 1);
+        assert!((0..100).all(|_| !h.sentry_tick()));
     }
 }
 

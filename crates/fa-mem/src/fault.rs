@@ -48,6 +48,16 @@ pub enum MemFault {
     },
     /// A region operation referred to an unknown region.
     NoSuchRegion,
+    /// An access touched a guarded (trap-on-access) region: a sentry
+    /// guard page or a poisoned sentry slot.
+    GuardTrap {
+        /// Faulting address.
+        addr: Addr,
+        /// Read or write.
+        kind: AccessKind,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
 }
 
 impl fmt::Display for MemFault {
@@ -60,6 +70,9 @@ impl fmt::Display for MemFault {
                 write!(f, "mapping overlap at {addr} (+{len})")
             }
             MemFault::NoSuchRegion => f.write_str("no such region"),
+            MemFault::GuardTrap { addr, kind, len } => {
+                write!(f, "sentry guard trap: {kind} of {len} byte(s) at {addr}")
+            }
         }
     }
 }

@@ -112,11 +112,30 @@ impl SimMemory {
             start,
             end: start.offset(len),
             name: name.to_owned(),
+            guarded: false,
         };
         let pos = self.regions.partition_point(|r| r.start < region.start);
         self.regions.insert(pos, region);
         self.rcache.set(None);
         Ok(id)
+    }
+
+    /// Maps a new trap-on-access guard region (see [`Region::guarded`]).
+    pub fn map_guarded(&mut self, start: Addr, len: u64, name: &str) -> Result<RegionId, MemFault> {
+        let id = self.map(start, len, name)?;
+        self.set_region_guarded(id, true)?;
+        Ok(id)
+    }
+
+    /// Arms or disarms trap-on-access for an existing region.
+    pub fn set_region_guarded(&mut self, id: RegionId, guarded: bool) -> Result<(), MemFault> {
+        let r = self
+            .regions
+            .iter_mut()
+            .find(|r| r.id == id)
+            .ok_or(MemFault::NoSuchRegion)?;
+        r.guarded = guarded;
+        Ok(())
     }
 
     /// Removes a region and drops the materialized pages it exclusively
@@ -231,7 +250,13 @@ impl SimMemory {
 
     fn check_mapped(&self, addr: Addr, len: u64, kind: AccessKind) -> Result<(), MemFault> {
         match self.region_of(addr) {
-            Some(r) if r.contains_range(addr, len) => Ok(()),
+            Some(r) if r.contains_range(addr, len) => {
+                if r.guarded {
+                    Err(MemFault::GuardTrap { addr, kind, len })
+                } else {
+                    Ok(())
+                }
+            }
             _ => Err(MemFault::AccessViolation { addr, kind, len }),
         }
     }
@@ -804,6 +829,42 @@ mod tests {
         let _ = mem.read_u32(base).unwrap();
         assert_eq!(mem.bytes_written(), 8);
         assert_eq!(mem.bytes_read(), 4);
+    }
+
+    #[test]
+    fn guarded_region_traps_reads_and_writes() {
+        let mut mem = SimMemory::new();
+        let id = mem.map_guarded(Addr(0x1000), 4096, "guard").unwrap();
+        assert!(matches!(
+            mem.read_u8(Addr(0x1000)),
+            Err(MemFault::GuardTrap {
+                kind: AccessKind::Read,
+                ..
+            })
+        ));
+        assert!(matches!(
+            mem.write_u8(Addr(0x1fff), 1),
+            Err(MemFault::GuardTrap {
+                kind: AccessKind::Write,
+                ..
+            })
+        ));
+        // Disarming makes it an ordinary region again.
+        mem.set_region_guarded(id, false).unwrap();
+        assert!(mem.write_u8(Addr(0x1000), 1).is_ok());
+        assert_eq!(mem.read_u8(Addr(0x1000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn guard_flag_survives_snapshot_restore() {
+        let mut mem = SimMemory::new();
+        let id = mem.map(Addr(0x1000), 4096, "slot").unwrap();
+        mem.write_u8(Addr(0x1000), 7).unwrap();
+        let snap = mem.snapshot();
+        mem.set_region_guarded(id, true).unwrap();
+        assert!(mem.read_u8(Addr(0x1000)).is_err());
+        mem.restore(&snap);
+        assert_eq!(mem.read_u8(Addr(0x1000)).unwrap(), 7);
     }
 
     #[test]

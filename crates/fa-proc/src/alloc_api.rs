@@ -65,7 +65,10 @@ pub trait AllocBackend: Send {
     /// This is the Pin-analog hook: the extension uses it to trace illegal
     /// accesses (writes into padding, accesses to delay-freed objects,
     /// reads before initialization). It must not alter the access, but may
-    /// charge classification overhead to `clock`.
+    /// charge classification overhead to `clock`. Returning an error
+    /// aborts the access before it happens — the sentry tier uses this to
+    /// deliver [`fa_mem::MemFault::GuardTrap`] faults for accesses to
+    /// guarded slots.
     fn observe_access(
         &mut self,
         clock: &mut Clock,
@@ -73,7 +76,7 @@ pub trait AllocBackend: Send {
         len: u64,
         kind: AccessKind,
         site: CallSite,
-    );
+    ) -> Result<(), Fault>;
 
     /// Returns the underlying heap.
     fn heap(&self) -> &Heap;
@@ -157,7 +160,8 @@ impl AllocBackend for PlainAllocator {
         _len: u64,
         _kind: AccessKind,
         _site: CallSite,
-    ) {
+    ) -> Result<(), Fault> {
+        Ok(())
     }
 
     fn heap(&self) -> &Heap {

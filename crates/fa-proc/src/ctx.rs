@@ -236,6 +236,9 @@ impl ProcessCtx {
     pub fn calloc(&mut self, req: u64) -> Result<Addr, Fault> {
         let p = self.malloc(req)?;
         self.clock.advance(self.costs.access(req));
+        // Routed through the observe hook so the allocator sees the
+        // zeroing as an initializing write.
+        self.observed(p, req, AccessKind::Write)?;
         self.mem.fill(p, req, 0)?;
         Ok(p)
     }
@@ -269,71 +272,71 @@ impl ProcessCtx {
     // Memory access API (what the app sees as loads/stores)
     // ------------------------------------------------------------------
 
-    fn observed(&mut self, addr: Addr, len: u64, kind: AccessKind) {
+    fn observed(&mut self, addr: Addr, len: u64, kind: AccessKind) -> Result<(), Fault> {
         self.clock.advance(self.costs.access(len));
         let site = self.stack.callsite();
         let ProcessCtx { alloc, clock, .. } = self;
-        alloc.observe_access(clock, addr, len, kind, site);
+        alloc.observe_access(clock, addr, len, kind, site)
     }
 
     /// Stores `bytes` at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), Fault> {
-        self.observed(addr, bytes.len() as u64, AccessKind::Write);
+        self.observed(addr, bytes.len() as u64, AccessKind::Write)?;
         Ok(self.mem.write(addr, bytes)?)
     }
 
     /// Loads `len` bytes from `addr`.
     pub fn read_bytes(&mut self, addr: Addr, len: u64) -> Result<Vec<u8>, Fault> {
-        self.observed(addr, len, AccessKind::Read);
+        self.observed(addr, len, AccessKind::Read)?;
         Ok(self.mem.read_bytes(addr, len)?)
     }
 
     /// Stores a little-endian `u64`.
     pub fn write_u64(&mut self, addr: Addr, v: u64) -> Result<(), Fault> {
-        self.observed(addr, 8, AccessKind::Write);
+        self.observed(addr, 8, AccessKind::Write)?;
         Ok(self.mem.write_u64(addr, v)?)
     }
 
     /// Loads a little-endian `u64`.
     pub fn read_u64(&mut self, addr: Addr) -> Result<u64, Fault> {
-        self.observed(addr, 8, AccessKind::Read);
+        self.observed(addr, 8, AccessKind::Read)?;
         Ok(self.mem.read_u64(addr)?)
     }
 
     /// Stores a little-endian `u32`.
     pub fn write_u32(&mut self, addr: Addr, v: u32) -> Result<(), Fault> {
-        self.observed(addr, 4, AccessKind::Write);
+        self.observed(addr, 4, AccessKind::Write)?;
         Ok(self.mem.write_u32(addr, v)?)
     }
 
     /// Loads a little-endian `u32`.
     pub fn read_u32(&mut self, addr: Addr) -> Result<u32, Fault> {
-        self.observed(addr, 4, AccessKind::Read);
+        self.observed(addr, 4, AccessKind::Read)?;
         Ok(self.mem.read_u32(addr)?)
     }
 
     /// Stores one byte.
     pub fn write_u8(&mut self, addr: Addr, v: u8) -> Result<(), Fault> {
-        self.observed(addr, 1, AccessKind::Write);
+        self.observed(addr, 1, AccessKind::Write)?;
         Ok(self.mem.write_u8(addr, v)?)
     }
 
     /// Loads one byte.
     pub fn read_u8(&mut self, addr: Addr) -> Result<u8, Fault> {
-        self.observed(addr, 1, AccessKind::Read);
+        self.observed(addr, 1, AccessKind::Read)?;
         Ok(self.mem.read_u8(addr)?)
     }
 
     /// Fills `[addr, addr + len)` with `byte` (a `memset`).
     pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), Fault> {
-        self.observed(addr, len, AccessKind::Write);
+        self.observed(addr, len, AccessKind::Write)?;
         Ok(self.mem.fill(addr, len, byte)?)
     }
 
     /// Copies `len` bytes from `src` to `dst` (a `memcpy`).
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<(), Fault> {
-        self.observed(src, len, AccessKind::Read);
-        self.observed(dst, len, AccessKind::Write);
+        self.observed(src, len, AccessKind::Read)?;
+        self.observed(dst, len, AccessKind::Write)?;
         Ok(self.mem.copy(dst, src, len)?)
     }
 

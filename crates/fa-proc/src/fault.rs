@@ -42,6 +42,7 @@ impl Fault {
     /// diagnosis logs.
     pub fn class(&self) -> &'static str {
         match self {
+            Fault::Mem(MemFault::GuardTrap { .. }) => "sentry-trap",
             Fault::Mem(_) => "access-violation",
             Fault::Heap(HeapError::InvalidFree { .. }) => "invalid-free",
             Fault::Heap(HeapError::CorruptChunk { .. }) => "heap-corruption",
@@ -102,6 +103,17 @@ mod tests {
         assert_eq!(h.class(), "invalid-free");
         let a = Fault::assertion("x", CallSite::default());
         assert_eq!(a.class(), "assertion");
+    }
+
+    #[test]
+    fn guard_trap_has_its_own_class() {
+        let f: Fault = MemFault::GuardTrap {
+            addr: Addr(1),
+            kind: AccessKind::Write,
+            len: 8,
+        }
+        .into();
+        assert_eq!(f.class(), "sentry-trap");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Sentry counters, merged fleet-wide.
+
+use serde::Serialize;
+
+use crate::trap::TrapKind;
+
+/// Everything the sentry tier measured during a run.
+///
+/// One instance rides on `RunSummary` (per runtime) and on the fleet
+/// reports (merged across workers). `samples`/`traps`/`overhead_ns` are
+/// maintained by the allocator extension; the fast-path vs full-ladder
+/// split is maintained by the core runtime.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct SentryMetrics {
+    /// Allocations redirected into guarded slots.
+    pub samples: u64,
+    /// Sampling decisions that declined for capacity reasons (no free
+    /// slot, or the object was too large for a slot).
+    pub skipped: u64,
+    /// Total sentry traps delivered.
+    pub traps: u64,
+    /// Traps from guard pages / recycled slots (overflow, underflow).
+    pub guard_traps: u64,
+    /// Traps from poisoned slots (dangling read/write).
+    pub poison_traps: u64,
+    /// Traps from freeing a poisoned slot (double free).
+    pub double_free_traps: u64,
+    /// Corrupt canary slack harvested on free (silent overflow).
+    pub canary_traps: u64,
+    /// Reads of never-written sampled bytes (uninitialized read).
+    pub uninit_traps: u64,
+    /// Diagnoses that went through the sentry fast path.
+    pub fast_path_diagnoses: u64,
+    /// Diagnoses that fell back to (or started on) the full ladder.
+    pub full_ladder_diagnoses: u64,
+    /// Traps whose diagnosis found no deterministic, patchable bug.
+    pub false_traps: u64,
+    /// Virtual time charged for sentry work (placement, poisoning).
+    pub overhead_ns: u64,
+}
+
+impl SentryMetrics {
+    /// Accumulates `other` into `self` (fleet aggregation).
+    pub fn merge(&mut self, other: &SentryMetrics) {
+        self.samples += other.samples;
+        self.skipped += other.skipped;
+        self.traps += other.traps;
+        self.guard_traps += other.guard_traps;
+        self.poison_traps += other.poison_traps;
+        self.double_free_traps += other.double_free_traps;
+        self.canary_traps += other.canary_traps;
+        self.uninit_traps += other.uninit_traps;
+        self.fast_path_diagnoses += other.fast_path_diagnoses;
+        self.full_ladder_diagnoses += other.full_ladder_diagnoses;
+        self.false_traps += other.false_traps;
+        self.overhead_ns += other.overhead_ns;
+    }
+
+    /// Counts one trap of the given kind.
+    pub fn count_trap(&mut self, kind: TrapKind) {
+        self.traps += 1;
+        match kind {
+            TrapKind::GuardHit => self.guard_traps += 1,
+            TrapKind::PoisonAccess => self.poison_traps += 1,
+            TrapKind::DoubleFreeSlot => self.double_free_traps += 1,
+            TrapKind::CanaryOnFree => self.canary_traps += 1,
+            TrapKind::UninitReadSlot => self.uninit_traps += 1,
+        }
+    }
+
+    /// Removes one trap of the given kind. The supervisor re-homes a
+    /// consumed trap onto its own rollback-surviving counters and calls
+    /// this to drop the allocator extension's copy, so recovery paths
+    /// that never roll back do not count the trap twice.
+    pub fn uncount_trap(&mut self, kind: TrapKind) {
+        self.traps = self.traps.saturating_sub(1);
+        let slot = match kind {
+            TrapKind::GuardHit => &mut self.guard_traps,
+            TrapKind::PoisonAccess => &mut self.poison_traps,
+            TrapKind::DoubleFreeSlot => &mut self.double_free_traps,
+            TrapKind::CanaryOnFree => &mut self.canary_traps,
+            TrapKind::UninitReadSlot => &mut self.uninit_traps,
+        };
+        *slot = slot.saturating_sub(1);
+    }
+
+    /// Fraction of traps that did not lead to a confirmed diagnosis.
+    pub fn false_trap_rate(&self) -> f64 {
+        if self.traps == 0 {
+            0.0
+        } else {
+            self.false_traps as f64 / self.traps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = SentryMetrics {
+            samples: 3,
+            traps: 2,
+            poison_traps: 2,
+            ..SentryMetrics::default()
+        };
+        let b = SentryMetrics {
+            samples: 1,
+            traps: 1,
+            false_traps: 1,
+            overhead_ns: 500,
+            ..SentryMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.samples, 4);
+        assert_eq!(a.traps, 3);
+        assert_eq!(a.overhead_ns, 500);
+        assert!((a.false_trap_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_trap_rate_of_empty_is_zero() {
+        assert_eq!(SentryMetrics::default().false_trap_rate(), 0.0);
+    }
+}

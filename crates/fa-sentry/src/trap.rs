@@ -1,0 +1,107 @@
+//! Trap records: what a sentry caught, with exact attribution.
+
+use core::fmt;
+
+use fa_mem::{AccessKind, Addr};
+use fa_proc::CallSite;
+
+/// What kind of sentry evidence fired.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrapKind {
+    /// An access ran past the slot into a guard page (or hit a recycled
+    /// slot it no longer owns): overflow/underflow caught in flight.
+    GuardHit,
+    /// An access touched a poisoned (freed) slot: dangling read/write.
+    PoisonAccess,
+    /// The application freed a poisoned slot again: double free.
+    DoubleFreeSlot,
+    /// The canary slack inside the slot was corrupt when the object was
+    /// freed: silent overflow evidence harvested on free.
+    CanaryOnFree,
+    /// A read of a sampled object's bytes that were never written.
+    UninitReadSlot,
+}
+
+impl TrapKind {
+    /// Short stable label used in logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrapKind::GuardHit => "guard-hit",
+            TrapKind::PoisonAccess => "poison-access",
+            TrapKind::DoubleFreeSlot => "double-free-slot",
+            TrapKind::CanaryOnFree => "canary-on-free",
+            TrapKind::UninitReadSlot => "uninit-read-slot",
+        }
+    }
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One sentry trap, recorded by the allocator extension at the moment the
+/// guarded slot caught the bug. Unlike a plain crash, the record names
+/// the *responsible* call-sites directly — this is what seeds fast-path
+/// diagnosis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrapRecord {
+    /// What fired.
+    pub kind: TrapKind,
+    /// Read or write, when the trap came from an access.
+    pub access: Option<AccessKind>,
+    /// Faulting (or freed) address.
+    pub addr: Addr,
+    /// Access length in bytes (0 for free-path traps).
+    pub len: u64,
+    /// Allocation call-site of the sampled object.
+    pub alloc_site: CallSite,
+    /// Deallocation call-site, when the object was already freed.
+    pub free_site: Option<CallSite>,
+    /// Call-site of the trapping access, when the trap came from one.
+    pub access_site: Option<CallSite>,
+    /// Requested size of the sampled object.
+    pub size: u64,
+    /// Index of the slot that caught it.
+    pub slot: usize,
+}
+
+impl fmt::Display for TrapRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sentry {} at {} (slot {}, object {} bytes)",
+            self.kind, self.addr, self.slot, self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrapKind::GuardHit.label(), "guard-hit");
+        assert_eq!(TrapKind::CanaryOnFree.to_string(), "canary-on-free");
+    }
+
+    #[test]
+    fn record_displays_attribution() {
+        let r = TrapRecord {
+            kind: TrapKind::PoisonAccess,
+            access: Some(AccessKind::Read),
+            addr: Addr(0x6000_1000),
+            len: 8,
+            alloc_site: CallSite([1, 2, 3]),
+            free_site: Some(CallSite([4, 5, 6])),
+            access_site: None,
+            size: 64,
+            slot: 0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("poison-access"));
+        assert!(s.contains("slot 0"));
+    }
+}

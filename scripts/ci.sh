@@ -19,3 +19,9 @@ cargo run --release --offline -p fa-bench --bin faults -- --check
 # vs the committed results/perf.json baseline, plus the >=2x
 # virtual-time speedup of parallel diagnosis on Apache and Squid.
 cargo run --release --offline -p fa-bench --bin perf -- --check
+
+# Sentry gate: at rate 1/64 the mean allocator overhead must stay under
+# the 5% always-on budget and at least one run must be caught before its
+# organic crash point; the sweep is virtual-clock-deterministic, so the
+# comparison against results/sentry.json is exact.
+cargo run --release --offline -p fa-bench --bin sentry -- --check

@@ -87,5 +87,6 @@ pub mod prelude {
     pub use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, Process, ProcessCtx, Response};
     pub use first_aid_core::{
         BugReport, FirstAidConfig, FirstAidRuntime, PatchPool, RestartRuntime, RxRuntime,
+        SentryConfig, SentryMetrics, TrapKind, TrapRecord,
     };
 }
