@@ -85,6 +85,9 @@ pub struct DiagnosisLatency {
     pub speculative_hits: usize,
     /// Waves that ran with at least one speculative trial.
     pub parallel_waves: usize,
+    /// Pooled trial contexts recycled (not forked fresh) by the
+    /// parallel run's wave scheduler.
+    pub slab_reuses: usize,
 }
 
 /// The full benchmark report (`results/perf.json`).
@@ -179,10 +182,14 @@ fn build_failed(spec: &AppSpec) -> (Process, CheckpointManager) {
     (p, mgr)
 }
 
-fn diagnose(
-    spec: &AppSpec,
-    parallelism: usize,
-) -> (f64, first_aid_core::Diagnosis, usize, usize, usize) {
+struct DiagnoseStats {
+    launched: usize,
+    hits: usize,
+    waves: usize,
+    slab_reuses: usize,
+}
+
+fn diagnose(spec: &AppSpec, parallelism: usize) -> (f64, first_aid_core::Diagnosis, DiagnoseStats) {
     let (mut p, mgr) = build_failed(spec);
     let config = EngineConfig {
         parallelism,
@@ -196,20 +203,20 @@ fn diagnose(
         DiagnosisOutcome::Diagnosed(d) => d,
         other => panic!("{}: diagnosis must succeed, got {other:?}", spec.key),
     };
-    (
-        wall_ms,
-        d,
-        engine.speculative_trials(),
-        engine.speculative_hits(),
-        engine.parallel_waves(),
-    )
+    let stats = DiagnoseStats {
+        launched: engine.speculative_trials(),
+        hits: engine.speculative_hits(),
+        waves: engine.parallel_waves(),
+        slab_reuses: engine.slab_reuses(),
+    };
+    (wall_ms, d, stats)
 }
 
 /// Measures sequential vs parallel diagnosis latency for one app.
 fn measure_diagnosis(key: &str) -> DiagnosisLatency {
     let spec = spec_by_key(key).unwrap();
-    let (seq_wall, seq_d, _, _, _) = diagnose(&spec, 1);
-    let (par_wall, par_d, launched, hits, waves) = diagnose(&spec, PARALLELISM);
+    let (seq_wall, seq_d, _) = diagnose(&spec, 1);
+    let (par_wall, par_d, stats) = diagnose(&spec, PARALLELISM);
     assert_eq!(
         seq_d.rollbacks, par_d.rollbacks,
         "{key}: parallelism changed the rollback count"
@@ -225,9 +232,10 @@ fn measure_diagnosis(key: &str) -> DiagnosisLatency {
         parallel_virtual_ms: par_virtual_ms,
         virtual_speedup: seq_virtual_ms / par_virtual_ms,
         rollbacks: seq_d.rollbacks,
-        speculative_trials: launched,
-        speculative_hits: hits,
-        parallel_waves: waves,
+        speculative_trials: stats.launched,
+        speculative_hits: stats.hits,
+        parallel_waves: stats.waves,
+        slab_reuses: stats.slab_reuses,
     }
 }
 
@@ -330,7 +338,8 @@ pub fn render(r: &PerfReport) -> String {
     for d in &r.diagnosis {
         out.push_str(&format!(
             "  {:<12} virtual {:>8.2} -> {:>8.2} ms ({:.2}x, width {})  \
-             wall {:>7.1} -> {:>7.1} ms  {} rollbacks, {} waves, {}/{} spec hits\n",
+             wall {:>7.1} -> {:>7.1} ms  {} rollbacks, {} waves, {}/{} spec hits, \
+             {} slab reuses\n",
             d.app,
             d.sequential_virtual_ms,
             d.parallel_virtual_ms,
@@ -342,6 +351,7 @@ pub fn render(r: &PerfReport) -> String {
             d.parallel_waves,
             d.speculative_hits,
             d.speculative_trials,
+            d.slab_reuses,
         ));
     }
     out

@@ -6,6 +6,7 @@ use fa_checkpoint::{AdaptiveConfig, CheckpointManager};
 use fa_proc::{BoxedApp, Fault, Input, Process, ProcessCtx, StepResult};
 
 use crate::harness::{expect_ext, ReexecOptions, ReplayHarness};
+use crate::log;
 use crate::metrics::ThroughputSampler;
 use crate::runtime::RunSummary;
 
@@ -123,11 +124,10 @@ impl RxRuntime {
     }
 
     fn recover(&mut self, summary: &mut RunSummary) {
-        let failure = self
-            .process
-            .failure
-            .clone()
-            .expect("Rx recovery requires a pending failure");
+        let Some(failure) = self.process.failure.clone() else {
+            // A stray call with nothing pending is not a recovery.
+            return;
+        };
         let wall_start = self.wall_ns;
         let margin_ns = self.margin_intervals * self.manager.interval_ns();
         let until =
@@ -182,11 +182,16 @@ impl RxRuntime {
         }
         if !survived {
             // Give up on the input: replay to it in normal mode and drop.
-            let newest = self
-                .manager
-                .nth_newest(0)
-                .expect("launch guarantees a checkpoint")
-                .id;
+            let Some(newest) = self.manager.nth_newest(0).map(|c| c.id) else {
+                // The ring is empty (launch normally guarantees a
+                // checkpoint): drop the poisoned input in place.
+                self.process.clear_failure();
+                self.process.skip_current();
+                self.last_proc_clock = self.process.ctx.clock.now();
+                self.manager.rearm(&self.process);
+                summary.dropped += 1;
+                return;
+            };
             self.manager.rollback_to(&mut self.process, newest);
             self.process.ctx.with_alloc_and_mem(|alloc, _mem| {
                 expect_ext(alloc).set_normal(PatchSet::new());
@@ -304,8 +309,23 @@ impl RestartRuntime {
         let mut ctx = ProcessCtx::new(self.heap_limit);
         ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
         let app = self.template.clone();
-        self.process = Process::launch(app, ctx).expect("template app must relaunch");
-        self.last_proc_clock = self.process.ctx.clock.now();
-        self.wall_ns += self.last_proc_clock; // init work of the new process
+        match Process::launch(app, ctx) {
+            Ok(p) => {
+                self.process = p;
+                self.last_proc_clock = self.process.ctx.clock.now();
+                self.wall_ns += self.last_proc_clock; // init work of the new process
+            }
+            Err(e) => {
+                // The relaunch itself died in app init; keep serving on
+                // the old incarnation (with the poisoned input dropped)
+                // rather than aborting the supervisor.
+                log::warn(format!(
+                    "restart: relaunch failed ({e}); continuing on the old process"
+                ));
+                self.process.clear_failure();
+                self.process.skip_current();
+                self.last_proc_clock = self.process.ctx.clock.now();
+            }
+        }
     }
 }

@@ -1,0 +1,321 @@
+//! Probe semantics: trial-spec constructors, manifestation rules, and the
+//! sentry fast path.
+//!
+//! The spec constructors are shared by the drivers and the speculation
+//! generators, so predicted and actual specs compare equal — the property
+//! the wave cache keys on.
+
+use std::collections::{HashSet, VecDeque};
+
+use fa_allocext::{BugType, ChangePlan, Manifestation, Mode, TrapRecord};
+use fa_checkpoint::CheckpointManager;
+use fa_exec::{ProcessSlab, ReplayHarness, RunReport, TrialLedger as Ledger, TrialSpec};
+use fa_faults::FaultStage;
+use fa_proc::{CallSite, Process};
+
+use super::{trap_bug_type, trap_seed_site, DiagnosedBug, Diagnosis, DiagnosisEngine, SpecCache};
+
+impl DiagnosisEngine {
+    /// Sentry fast-path diagnosis: a trapped failure arrives with the bug
+    /// type and triggering call-site already suggested, so instead of the
+    /// full ladder (non-determinism probe, phase-1 checkpoint scan, the
+    /// `Su` rule-out chain) the engine runs one confirming re-execution
+    /// with the suspected type exposing and everything else preventive.
+    /// For directly-identifiable types the manifestations name the sites;
+    /// for the read bugs the trapped site seeds the search: a clean
+    /// `ExposeExcept({site})` run pins the whole bug on it, and only a
+    /// residue falls back to the (seeded) binary search.
+    ///
+    /// Returns `None` when the trap does not confirm — a wedged engine,
+    /// an expired deadline, or a probe that never manifests — in which
+    /// case the caller falls back to [`DiagnosisEngine::diagnose`].
+    pub fn diagnose_fast(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        trap: &TrapRecord,
+    ) -> Option<Diagnosis> {
+        let failure = process.failure.clone()?;
+        let f_idx = failure.input_index;
+        let margin_ns = self.config.margin_intervals * manager.interval_ns();
+        let until = ReplayHarness::success_end_cursor(process, f_idx, margin_ns);
+        let bug = trap_bug_type(trap);
+        let mut ledger = Ledger::new(format!(
+            "sentry fast path: {} trap at input #{f_idx} suggests {bug}",
+            trap.kind
+        ));
+        // A wedged engine degrades to the full ladder (which will consult
+        // the same gate) instead of hanging the fast path.
+        if self.faults.should_fail(FaultStage::DiagnosisTimeout) {
+            return None;
+        }
+        let mut cache = SpecCache::default();
+        let mut slab = ProcessSlab::new();
+        // Checkpoint selection follows the ladder's phase-1 rule (latest
+        // checkpoint that survives all-preventive with clean marks) so
+        // both paths bisect over the same re-execution window — a later
+        // checkpoint would see only a suffix of the triggering sites.
+        let mut chosen: Option<u64> = None;
+        for k in 0..self.config.max_checkpoint_tries {
+            if ledger.rollbacks >= self.config.max_reexecutions || self.past_deadline(&ledger) {
+                return None;
+            }
+            let Some(ckpt) = manager.nth_newest(k) else {
+                break;
+            };
+            let id = ckpt.id;
+            let r = self.run(process, manager, &Self::phase1_spec(id, until));
+            ledger.charge(&r);
+            if r.passed && !r.mark_corrupt() {
+                ledger.log.push(format!(
+                    "fast path: checkpoint {id} (-{k}) precedes the trigger"
+                ));
+                chosen = Some(id);
+                break;
+            }
+        }
+        let ckpt_id = chosen?;
+        {
+            // One confirming re-execution: the suspected type exposing,
+            // everything else preventive.
+            let spec = TrialSpec {
+                ckpt_id,
+                plan: ChangePlan::probe(bug, &BugType::ALL),
+                mark: false,
+                timing_seed: 0,
+                until,
+            };
+            let r = self.run(process, manager, &spec);
+            ledger.charge(&r);
+            if !Self::manifested(bug, &r) {
+                ledger.log.push(format!(
+                    "fast path: {bug} did not manifest from checkpoint {ckpt_id}; full ladder"
+                ));
+                return None;
+            }
+            ledger.log.push(format!(
+                "fast path: {bug} confirmed from checkpoint {ckpt_id}"
+            ));
+            let sites = if bug.directly_identifiable() {
+                Self::direct_sites(bug, &r)
+            } else {
+                let seed = trap_seed_site(trap, bug)?;
+                let mut plan = ChangePlan::probe(bug, &BugType::ALL);
+                *plan.mode_mut(bug) = Mode::ExposeExcept([seed].into_iter().collect());
+                let spec = TrialSpec {
+                    ckpt_id,
+                    plan,
+                    mark: false,
+                    timing_seed: 0,
+                    until,
+                };
+                let r2 = self.run(process, manager, &spec);
+                ledger.charge(&r2);
+                if !Self::manifested(bug, &r2) {
+                    ledger.log.push(format!(
+                        "fast path: trapped call-site {:x?} alone accounts for the bug",
+                        seed.0
+                    ));
+                    vec![seed]
+                } else {
+                    ledger
+                        .log
+                        .push("fast path: residue beyond the trapped site; seeded search".into());
+                    self.binary_search_sites(
+                        process,
+                        manager,
+                        &mut slab,
+                        &mut cache,
+                        ckpt_id,
+                        bug,
+                        &BugType::ALL,
+                        &r,
+                        until,
+                        &mut ledger,
+                        &[seed],
+                    )
+                }
+            };
+            if sites.is_empty() {
+                return None;
+            }
+            ledger.log.push(format!(
+                "fast path: {bug} triggered at {} call-site(s)",
+                sites.len()
+            ));
+            Some(Diagnosis {
+                bugs: vec![DiagnosedBug {
+                    bug,
+                    sites,
+                    evidence: r.manifests.clone(),
+                }],
+                checkpoint_id: ckpt_id,
+                rollbacks: ledger.rollbacks,
+                elapsed_ns: ledger.elapsed_ns,
+                log: ledger.log,
+                until_cursor: until,
+            })
+        }
+    }
+
+    /// Decides whether bug type `b` manifested in a probe run.
+    pub(super) fn manifested(b: BugType, r: &RunReport) -> bool {
+        match b {
+            BugType::BufferOverflow | BugType::DanglingWrite | BugType::DoubleFree => {
+                r.manifested(b)
+            }
+            // The exposing changes for the read bugs manifest as failures;
+            // the extension's access counters disambiguate which kind of
+            // read preceded the failure.
+            BugType::DanglingRead => !r.passed && r.quarantine_reads > 0,
+            BugType::UninitRead => !r.passed && r.uninit_reads > 0,
+        }
+    }
+
+    /// Reads the triggering call-sites directly off the manifestations.
+    pub(super) fn direct_sites(b: BugType, r: &RunReport) -> Vec<CallSite> {
+        let mut sites = Vec::new();
+        for m in &r.manifests {
+            let site = match (b, m) {
+                (BugType::BufferOverflow, Manifestation::PaddingCorrupt { alloc_site, .. }) => {
+                    Some(*alloc_site)
+                }
+                (BugType::DanglingWrite, Manifestation::QuarantineCorrupt { freed_site, .. }) => {
+                    Some(*freed_site)
+                }
+                (
+                    BugType::DoubleFree,
+                    Manifestation::DoubleFree {
+                        first_free_site, ..
+                    },
+                ) => Some(*first_free_site),
+                _ => None,
+            };
+            if let Some(s) = site {
+                if !sites.contains(&s) {
+                    sites.push(s);
+                }
+            }
+        }
+        sites
+    }
+
+    /// The phase-1 trial at checkpoint `id`: all preventive changes with
+    /// heap marking.
+    pub(super) fn phase1_spec(id: u64, until: usize) -> TrialSpec {
+        TrialSpec {
+            ckpt_id: id,
+            plan: ChangePlan {
+                heap_marking: true,
+                ..ChangePlan::all_preventive()
+            },
+            mark: true,
+            timing_seed: 0,
+            until,
+        }
+    }
+
+    /// The coverage-check trial: preventive for the identified set,
+    /// exposing for the rest.
+    pub(super) fn coverage_spec(
+        ckpt: u64,
+        su: &[BugType],
+        si: &[BugType],
+        until: usize,
+    ) -> TrialSpec {
+        let mut plan = ChangePlan::none();
+        for &b in si {
+            *plan.mode_mut(b) = Mode::Prevent;
+        }
+        for &b in su {
+            *plan.mode_mut(b) = Mode::Expose;
+        }
+        TrialSpec {
+            ckpt_id: ckpt,
+            plan,
+            mark: false,
+            timing_seed: 0,
+            until,
+        }
+    }
+
+    /// Speculative phase-2 tail at `ckpt`: the rule-out chain (probe `j`
+    /// runs if probes `0..j` were all ruled out) plus the coverage check
+    /// that follows if the first probe manifests and identifies directly.
+    pub(super) fn phase2_tail(
+        ckpt: u64,
+        su: &[BugType],
+        si: &[BugType],
+        until: usize,
+    ) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        for j in 0..su.len() {
+            let prevent: Vec<BugType> = su[j..].iter().chain(si.iter()).copied().collect();
+            out.push(TrialSpec {
+                ckpt_id: ckpt,
+                plan: ChangePlan::probe(su[j], &prevent),
+                mark: false,
+                timing_seed: 0,
+                until,
+            });
+        }
+        if su.len() > 1 {
+            let mut si_plus: Vec<BugType> = si.to_vec();
+            si_plus.push(su[0]);
+            out.push(Self::coverage_spec(ckpt, &su[1..], &si_plus, until));
+        }
+        out
+    }
+
+    /// Speculative tail for the call-site binary search: a breadth-first
+    /// walk of the bisection decision tree over `range`. A node with more
+    /// than one candidate emits the `ExposeOnly(first half)` trial the
+    /// driver runs next on that branch and recurses into both halves; a
+    /// leaf emits the follow-up `ExposeExcept` trial that re-checks for
+    /// further triggering sites once the leaf is identified.
+    pub(super) fn bisect_tail(
+        bug: BugType,
+        prevent: &[BugType],
+        ckpt: u64,
+        until: usize,
+        range: &[CallSite],
+        identified: &[CallSite],
+    ) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<Vec<CallSite>> = VecDeque::new();
+        queue.push_back(range.to_vec());
+        while let Some(r) = queue.pop_front() {
+            match r.len() {
+                0 => {}
+                1 => {
+                    let mut except: HashSet<CallSite> = identified.iter().copied().collect();
+                    except.insert(r[0]);
+                    let mut plan = ChangePlan::probe(bug, prevent);
+                    *plan.mode_mut(bug) = Mode::ExposeExcept(except);
+                    out.push(TrialSpec {
+                        ckpt_id: ckpt,
+                        plan,
+                        mark: false,
+                        timing_seed: 0,
+                        until,
+                    });
+                }
+                n => {
+                    let half: HashSet<CallSite> = r[..n / 2].iter().copied().collect();
+                    let mut plan = ChangePlan::probe(bug, prevent);
+                    *plan.mode_mut(bug) = Mode::ExposeOnly(half);
+                    out.push(TrialSpec {
+                        ckpt_id: ckpt,
+                        plan,
+                        mark: false,
+                        timing_seed: 0,
+                        until,
+                    });
+                    queue.push_back(r[..n / 2].to_vec());
+                    queue.push_back(r[n / 2..].to_vec());
+                }
+            }
+        }
+        out
+    }
+}

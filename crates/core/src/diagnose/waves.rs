@@ -1,0 +1,285 @@
+//! The trial broker: sequential path, speculative wave scheduling, and
+//! commit-order charging.
+//!
+//! Every trial runs on an fa-exec substrate. The leader of a wave runs on
+//! the supervised process through [`fa_exec::ManagedSubstrate`]
+//! (preserving phase-0 semantics — on a nondeterminism verdict the
+//! runtime keeps the re-executed state); speculative members run on
+//! [`SlabSubstrate`]s over pooled contexts from the diagnosis-scoped
+//! [`ProcessSlab`], each restored from its own COW clone of the
+//! checkpoint snapshot. A recycled context already shares most pages with
+//! the snapshot, so its restore touches only the pages the previous trial
+//! diverged — the hot-path win over forking fresh processes per wave.
+
+use fa_checkpoint::CheckpointManager;
+use fa_exec::{
+    FaultGate, ManagedSubstrate, ProcessSlab, RunReport, SlabSubstrate, TrialLedger as Ledger,
+    TrialSpec, TrialSubstrate, ROLLBACK_COST_NS,
+};
+use fa_proc::Process;
+
+use super::DiagnosisEngine;
+
+/// Results of the most recent speculative wave, keyed by trial spec.
+#[derive(Default)]
+pub(super) struct SpecCache {
+    entries: Vec<(TrialSpec, RunReport)>,
+    /// Virtual time already charged for the current wave. Committing a
+    /// trial charges only the increment over this running maximum, so a
+    /// fully-consumed wave costs `max` over its trials instead of the sum
+    /// — the trials ran concurrently.
+    charged: u64,
+}
+
+impl DiagnosisEngine {
+    /// Produces the report for `spec`, charging the ledger.
+    ///
+    /// Sequential mode (`parallelism == 1`) runs the trial directly.
+    /// Parallel mode first consults the wave cache; on a miss it discards
+    /// the stale cache and launches a new wave — the leader trial on the
+    /// calling thread plus up to `parallelism - 1` trials from `tail`
+    /// running concurrently on pooled contexts. Either way the fault gate
+    /// resolves once per *committed* trial, in the same order as the
+    /// sequential engine, so fault-plan consultation (and hence every
+    /// injected-fault outcome) is identical at any width.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn fetch(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        slab: &mut ProcessSlab,
+        cache: &mut SpecCache,
+        ledger: &mut Ledger,
+        spec: TrialSpec,
+        tail: Vec<TrialSpec>,
+    ) -> RunReport {
+        let width = self.config.parallelism.max(1);
+        if width == 1 {
+            let r = self.run(process, manager, &spec);
+            ledger.charge(&r);
+            return r;
+        }
+        if let Some(i) = cache.entries.iter().position(|(s, _)| *s == spec) {
+            let (_, raw) = cache.entries.remove(i);
+            self.spec_hits.set(self.spec_hits.get() + 1);
+            let r = self.commit(cache, raw);
+            ledger.charge(&r);
+            return r;
+        }
+        // Miss: whatever the last wave predicted is now stale.
+        if !cache.entries.is_empty() {
+            self.spec_wasted
+                .set(self.spec_wasted.get() + cache.entries.len());
+            cache.entries.clear();
+        }
+        cache.charged = 0;
+        // The fault gate resolves before the trial runs, exactly as in
+        // the sequential path; an exhausted gate means it never executes.
+        match self.gate().resolve() {
+            Err(penalty) => {
+                let r = RunReport {
+                    passed: false,
+                    elapsed_ns: penalty + ROLLBACK_COST_NS,
+                    ..RunReport::default()
+                };
+                ledger.charge(&r);
+                r
+            }
+            Ok(penalty) => {
+                let speculative = Self::plan_wave(manager, &spec, tail, width);
+                let (mut raw, results) = self.run_wave(process, manager, slab, &spec, &speculative);
+                if !speculative.is_empty() {
+                    self.waves.set(self.waves.get() + 1);
+                    self.spec_launched
+                        .set(self.spec_launched.get() + speculative.len());
+                }
+                cache.entries = results;
+                cache.charged = raw.elapsed_ns;
+                raw.elapsed_ns += penalty;
+                ledger.charge(&raw);
+                raw
+            }
+        }
+    }
+
+    /// Applies the fault gate to a cached speculative result and charges
+    /// its share of the wave's virtual time.
+    fn commit(&self, cache: &mut SpecCache, raw: RunReport) -> RunReport {
+        match self.gate().resolve() {
+            Err(penalty) => {
+                // The gate killed this iteration: the speculative result
+                // is discarded, exactly as the sequential engine would
+                // never have run the trial.
+                self.spec_wasted.set(self.spec_wasted.get() + 1);
+                RunReport {
+                    passed: false,
+                    elapsed_ns: penalty + ROLLBACK_COST_NS,
+                    ..RunReport::default()
+                }
+            }
+            Ok(penalty) => {
+                let extra = raw.elapsed_ns.saturating_sub(cache.charged);
+                cache.charged += extra;
+                let mut r = raw;
+                r.elapsed_ns = extra + penalty;
+                r
+            }
+        }
+    }
+
+    /// Selects the speculative members of a wave: the tail specs, deduped
+    /// against the leader and each other, filtered to intact retained
+    /// checkpoints, truncated so leader + speculation fit the wave width.
+    fn plan_wave(
+        manager: &CheckpointManager,
+        leader: &TrialSpec,
+        tail: Vec<TrialSpec>,
+        width: usize,
+    ) -> Vec<TrialSpec> {
+        let mut wave: Vec<TrialSpec> = Vec::new();
+        for s in tail {
+            if wave.len() + 1 >= width {
+                break;
+            }
+            if s == *leader || wave.contains(&s) {
+                continue;
+            }
+            if !manager.get(s.ckpt_id).is_some_and(|c| c.verify()) {
+                continue;
+            }
+            wave.push(s);
+        }
+        wave
+    }
+
+    /// Runs one wave: the leader trial on the calling thread against the
+    /// main process, the speculative trials concurrently on pooled
+    /// contexts acquired from the slab, each bound to its own clone of
+    /// the checkpoint snapshot (COW: an `Arc` clone per page). Results
+    /// return in spec order. A trial that errors is dropped from the
+    /// results (its context returns to the pool); the driver then misses
+    /// in the cache and re-runs the spec sequentially, so a poisoned
+    /// trial degrades the wave instead of aborting diagnosis.
+    fn run_wave(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        slab: &mut ProcessSlab,
+        leader: &TrialSpec,
+        speculative: &[TrialSpec],
+    ) -> (RunReport, Vec<(TrialSpec, RunReport)>) {
+        let integrity_check = self.config.integrity_check;
+        let reuses_before = slab.reuses();
+        let mut substrates: Vec<(TrialSpec, SlabSubstrate)> = speculative
+            .iter()
+            .map(|spec| {
+                let snap = manager
+                    .get(spec.ckpt_id)
+                    .expect("wave specs are filtered to retained checkpoints")
+                    .snap
+                    .clone();
+                let sub = SlabSubstrate::new(slab.acquire(process), snap, integrity_check);
+                (spec.clone(), sub)
+            })
+            .collect();
+        self.slab_reuses
+            .set(self.slab_reuses.get() + (slab.reuses() - reuses_before));
+        let (leader_report, joined) = std::thread::scope(|scope| {
+            let handles: Vec<_> = substrates
+                .drain(..)
+                .map(|(spec, mut sub)| {
+                    scope.spawn(move || {
+                        let r = sub.reexecute(&spec);
+                        (spec, r, sub.into_process())
+                    })
+                })
+                .collect();
+            let leader_report = self.execute(process, manager, leader);
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            (leader_report, joined)
+        });
+        let mut results = Vec::new();
+        for outcome in joined {
+            match outcome {
+                Ok((spec, Ok(r), ctx)) => {
+                    slab.release(ctx);
+                    results.push((spec, r));
+                }
+                Ok((spec, Err(e), ctx)) => {
+                    slab.release(ctx);
+                    self.trial_errors.set(self.trial_errors.get() + 1);
+                    crate::log::warn(format!("speculative trial errored ({e}): {spec:?}"));
+                }
+                Err(_panic) => {
+                    // The context is lost with the worker; diagnosis
+                    // continues on sequential re-runs.
+                    self.trial_errors.set(self.trial_errors.get() + 1);
+                    crate::log::warn("speculative trial worker panicked; context dropped");
+                }
+            }
+        }
+        (leader_report, results)
+    }
+
+    /// One re-execution of `spec` on the managed substrate. An errored
+    /// trial (lost or corrupt checkpoint) is reported as a failed run —
+    /// the ladder then treats it like any other insufficient checkpoint —
+    /// rather than aborting the supervisor.
+    fn execute(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        spec: &TrialSpec,
+    ) -> RunReport {
+        let mut substrate = ManagedSubstrate::new(process, manager, self.config.integrity_check);
+        match substrate.reexecute(spec) {
+            Ok(r) => r,
+            Err(e) => {
+                self.trial_errors.set(self.trial_errors.get() + 1);
+                crate::log::warn(format!("trial degraded to failed run ({e}): {spec:?}"));
+                RunReport {
+                    passed: false,
+                    elapsed_ns: ROLLBACK_COST_NS,
+                    ..RunReport::default()
+                }
+            }
+        }
+    }
+
+    /// The flaky-re-execution fault gate over this engine's plan and
+    /// retry budget.
+    fn gate(&self) -> FaultGate<'_> {
+        FaultGate::new(
+            &self.faults,
+            self.config.reexec_retries,
+            self.config.retry_backoff_ns,
+            &self.retries,
+        )
+    }
+
+    /// One re-execution, with bounded retry-with-backoff against flaky
+    /// iterations: if the fault plan declares this re-execution flaky
+    /// (it dies for reasons unrelated to the bug), the engine charges
+    /// an exponentially growing backoff and retries up to
+    /// `reexec_retries` times before writing the iteration off as a
+    /// failed run.
+    pub(super) fn run(
+        &self,
+        process: &mut Process,
+        manager: &CheckpointManager,
+        spec: &TrialSpec,
+    ) -> RunReport {
+        match self.gate().resolve() {
+            Err(penalty) => RunReport {
+                passed: false,
+                elapsed_ns: penalty + ROLLBACK_COST_NS,
+                ..RunReport::default()
+            },
+            Ok(penalty) => {
+                let mut r = self.execute(process, manager, spec);
+                r.elapsed_ns += penalty;
+                r
+            }
+        }
+    }
+}

@@ -80,6 +80,14 @@ pub use runtime::{
 };
 pub use validate::{ValidationEngine, ValidationOutcome};
 
+// Re-export the trial-execution substrate so drivers (sentry fast paths,
+// fleet workers, benches) can run trials without depending on fa-exec
+// directly.
+pub use fa_exec::{
+    FaError, FaResult, FaultGate, ManagedSubstrate, ProcessSlab, SlabSubstrate, TrialLedger,
+    TrialOutcome, TrialSpec, TrialSubstrate, ROLLBACK_COST_NS,
+};
+
 // Re-export the patch and bug-type vocabulary for downstream users.
 pub use fa_allocext::{BugType, Patch, PatchSet, PreventiveChange, GENERIC_SITE};
 // Re-export the sentry-tier vocabulary (configs, metrics, trap records)

@@ -7,8 +7,14 @@
 //! now goes through [`warn`], and the process-wide sink can be swapped:
 //! stderr (default), discard, or capture into a buffer that tests and
 //! the fleet supervisor drain via [`capture`] / [`Capture::drain`].
+//!
+//! The sink lock is a `parking_lot` mutex: panic-transparent, so a
+//! worker thread that dies mid-trial cannot poison the sink and turn
+//! every later diagnostic into a second panic.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
 
 /// Where diagnostics go.
 enum Sink {
@@ -34,12 +40,12 @@ impl Capture {
 
     /// Takes all captured lines, leaving the buffer empty.
     pub fn drain(&self) -> Vec<String> {
-        std::mem::take(&mut self.lines.lock().unwrap())
+        std::mem::take(&mut self.lines.lock())
     }
 
     /// Returns the number of captured lines.
     pub fn len(&self) -> usize {
-        self.lines.lock().unwrap().len()
+        self.lines.lock().len()
     }
 
     /// Returns `true` if nothing has been captured.
@@ -56,23 +62,23 @@ fn sink() -> &'static Mutex<Sink> {
 /// Emits one diagnostic line (no trailing newline needed).
 pub fn warn(line: impl AsRef<str>) {
     let line = line.as_ref();
-    match &*sink().lock().unwrap() {
+    match &*sink().lock() {
         Sink::Stderr => eprintln!("first-aid: {line}"),
         Sink::Discard => {}
         Sink::Capture(capture) => {
-            capture.lines.lock().unwrap().push(line.to_owned());
+            capture.lines.lock().push(line.to_owned());
         }
     }
 }
 
 /// Routes diagnostics to stderr (the default).
 pub fn use_stderr() {
-    *sink().lock().unwrap() = Sink::Stderr;
+    *sink().lock() = Sink::Stderr;
 }
 
 /// Silences diagnostics.
 pub fn use_discard() {
-    *sink().lock().unwrap() = Sink::Discard;
+    *sink().lock() = Sink::Discard;
 }
 
 /// Routes diagnostics into a fresh capture buffer and returns it.
@@ -81,7 +87,7 @@ pub fn use_discard() {
 /// [`use_stderr`] when done (see [`captured`] for a scoped helper).
 pub fn capture() -> Capture {
     let cap = Capture::new();
-    *sink().lock().unwrap() = Sink::Capture(cap.clone());
+    *sink().lock() = Sink::Capture(cap.clone());
     cap
 }
 

@@ -578,6 +578,62 @@ mod tests {
     }
 
     #[test]
+    fn revoke_and_rediagnosis_land_within_one_reader_refresh() {
+        // The race the epoch protocol must survive: a worker's patch for
+        // a bug signature is revoked as ineffective, and — before any
+        // sibling refreshes — another worker re-diagnoses the *same*
+        // signature, offering both its stale copy of the revoked patch
+        // and a fresh patch at the true call-site. A reader's next
+        // refresh must see the tombstone and the replacement at once;
+        // the refused stale copy must not count as a mutation.
+        let pool = PatchPool::in_memory();
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+
+        // One reader refresh window starts here.
+        let (set0, epoch0) = pool.get_with_epoch("apache");
+        assert_eq!(set0.patches().len(), 1);
+
+        assert!(pool.revoke("apache", CallSite([1, 0, 0])));
+        let version_after_revoke = pool.version();
+        assert_eq!(pool.epoch("apache"), epoch0 + 1);
+
+        let (added, lines) = log::captured(|| {
+            pool.add(
+                "apache",
+                [
+                    patch(BugType::DanglingRead, 1), // stale copy of the revoked patch
+                    patch(BugType::DanglingRead, 7), // fresh patch, same signature
+                ],
+            )
+        });
+        assert_eq!(added, 1, "only the fresh call-site is admitted");
+        assert!(
+            lines.iter().any(|l| l.contains("revoked")),
+            "the refused stale copy is logged: {lines:?}"
+        );
+        assert_eq!(
+            pool.version(),
+            version_after_revoke + 1,
+            "one bump for the fresh patch; the refused copy is no mutation"
+        );
+
+        // The reader's next refresh observes both effects atomically:
+        // exactly two epoch steps (revoke, fresh add), the revoked site
+        // gone, the replacement present.
+        let (set1, epoch1) = pool.get_with_epoch("apache");
+        assert_eq!(epoch1, epoch0 + 2);
+        assert!(
+            !set1.patches().iter().any(|p| p.site == CallSite([1, 0, 0])),
+            "revoked site must be absent after refresh"
+        );
+        assert!(
+            set1.patches().iter().any(|p| p.site == CallSite([7, 0, 0])),
+            "replacement patch for the same signature must be visible"
+        );
+        assert!(pool.is_revoked("apache", CallSite([1, 0, 0])));
+    }
+
+    #[test]
     fn pool_io_failures_retry_then_degrade_in_memory() {
         use fa_faults::{FaultPlan, FaultStage, Injection};
 

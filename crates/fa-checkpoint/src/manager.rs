@@ -219,6 +219,15 @@ impl CheckpointManager {
     /// Rolls the process back to the given checkpoint, charging a restore
     /// cost proportional to the snapshot's footprint.
     pub fn rollback_to(&self, process: &mut Process, id: u64) -> bool {
+        self.restore_into(process, id)
+    }
+
+    /// Restores a trial context from checkpoint `id` without touching the
+    /// ring: the same checksum verification, restore, fixed rollback cost,
+    /// and dirty-page reset as [`Self::rollback_to`], applied to any
+    /// process — the supervised one or a pooled/forked trial context. This
+    /// is the checkpoint entry point of the fa-exec trial substrate.
+    pub fn restore_into(&self, trial: &mut Process, id: u64) -> bool {
         let Some(ckpt) = self.ring.iter().find(|c| c.id == id) else {
             return false;
         };
@@ -227,11 +236,11 @@ impl CheckpointManager {
         if !ckpt.verify() {
             return false;
         }
-        process.restore(&ckpt.snap);
+        trial.restore(&ckpt.snap);
         // Reinstating the saved task state: charge a fixed cost plus a
         // per-page share for the page-table swap.
-        process.ctx.clock.advance(80_000);
-        process.ctx.mem.take_dirty_pages();
+        trial.ctx.clock.advance(80_000);
+        trial.ctx.mem.take_dirty_pages();
         true
     }
 

@@ -1,0 +1,68 @@
+//! Pooled, reusable trial contexts.
+//!
+//! A diagnosis wave of K speculative trials used to fork K fresh
+//! processes — a full `SimMemory` page-map clone, allocator clone, and
+//! log copy per trial, discarded at the end of the wave. The slab keeps
+//! those contexts alive across waves: a recycled context is rebound to
+//! the current template ([`Process::rebind`]) and then restored from the
+//! wave's checkpoint snapshot, where the diff-aware
+//! [`fa_mem::SimMemory::restore`] only replaces the pages that actually
+//! diverged since the context last ran. Page identity (and the per-page
+//! cached content hashes riding on it) is preserved through the existing
+//! COW digests, so reuse is both cheap and digest-exact.
+
+use fa_proc::Process;
+
+/// A pool of recycled trial processes.
+#[derive(Default)]
+pub struct ProcessSlab {
+    free: Vec<Process>,
+    acquisitions: usize,
+    reuses: usize,
+}
+
+impl ProcessSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        ProcessSlab::default()
+    }
+
+    /// Hands out a trial context equivalent to `template.fork()`.
+    ///
+    /// If a pooled context is available it is rebound to the template
+    /// instead of forking a fresh one; the caller must `restore` it from
+    /// a snapshot before stepping (every [`crate::SlabSubstrate`] trial
+    /// starts with exactly that restore).
+    pub fn acquire(&mut self, template: &Process) -> Process {
+        self.acquisitions += 1;
+        match self.free.pop() {
+            Some(mut pooled) => {
+                self.reuses += 1;
+                pooled.rebind(template);
+                pooled
+            }
+            None => template.fork(),
+        }
+    }
+
+    /// Returns a trial context to the pool for the next acquire.
+    pub fn release(&mut self, trial: Process) {
+        self.free.push(trial);
+    }
+
+    /// Total contexts handed out over the slab's lifetime.
+    pub fn acquisitions(&self) -> usize {
+        self.acquisitions
+    }
+
+    /// How many acquisitions were served by recycling a pooled context
+    /// instead of forking a fresh one.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Contexts currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}

@@ -1,0 +1,147 @@
+//! Regression: a pooled trial context rebound across *different apps*
+//! must be indistinguishable — snapshot digest and trial reports alike —
+//! from a freshly forked one.
+//!
+//! The hazard is stale state surviving the rebind: a page (with its
+//! cached content hash) left over from the previous binding that the
+//! diff-aware restore fails to replace would skew
+//! `CtxSnapshot::digest()` and corrupt trial outcomes silently.
+
+use fa_allocext::{ChangePlan, ExtAllocator};
+use fa_checkpoint::{AdaptiveConfig, CheckpointManager};
+use fa_exec::{ProcessSlab, SlabSubstrate, TrialSpec, TrialSubstrate};
+use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, Process, ProcessCtx, Response};
+
+/// Fills one small buffer with a per-app byte pattern; apps A and B
+/// differ in allocation size and fill byte so their heaps (and page
+/// contents) diverge thoroughly.
+#[derive(Clone)]
+struct PatternApp {
+    tag: &'static str,
+    size: u64,
+    fill: u8,
+}
+
+impl App for PatternApp {
+    fn name(&self) -> &'static str {
+        self.tag
+    }
+
+    fn handle(&mut self, ctx: &mut ProcessCtx, input: &Input) -> Result<Response, Fault> {
+        ctx.call("serve", |ctx| {
+            let p = ctx.malloc(self.size + input.a)?;
+            ctx.fill(p, self.size + input.a, self.fill)?;
+            ctx.free(p)?;
+            Ok(Response::bytes(self.size))
+        })
+    }
+
+    fn clone_app(&self) -> BoxedApp {
+        Box::new(self.clone())
+    }
+}
+
+fn launch(app: PatternApp) -> (Process, CheckpointManager) {
+    let mut ctx = ProcessCtx::new(1 << 26);
+    ctx.swap_alloc(|old| Box::new(ExtAllocator::attach(old.heap().clone())));
+    let proc = Process::launch(Box::new(app), ctx).unwrap();
+    let mgr = CheckpointManager::new(
+        AdaptiveConfig {
+            base_interval_ns: 1_000_000,
+            ..AdaptiveConfig::default()
+        },
+        16,
+    );
+    (proc, mgr)
+}
+
+fn input(i: u64) -> Input {
+    InputBuilder::op(0).a(i * 8).gap_us(50).build()
+}
+
+/// Feeds, checkpoints mid-stream, feeds more, and returns the process,
+/// the checkpoint snapshot, and a replay spec covering the tail region.
+fn scenario(app: PatternApp) -> (Process, fa_proc::ProcSnapshot, TrialSpec) {
+    let (mut proc, mut mgr) = launch(app);
+    for i in 0..6 {
+        proc.feed(input(i));
+    }
+    let ckpt = mgr.force_checkpoint(&mut proc);
+    for i in 6..10 {
+        proc.feed(input(i));
+    }
+    let snap = mgr.get(ckpt).unwrap().snap.clone();
+    let spec = TrialSpec {
+        ckpt_id: ckpt,
+        plan: ChangePlan::all_preventive(),
+        mark: true,
+        timing_seed: 7,
+        until: proc.cursor(),
+    };
+    (proc, snap, spec)
+}
+
+#[test]
+fn slab_reuse_across_apps_matches_fresh_fork() {
+    let app_a = PatternApp {
+        tag: "app-a",
+        size: 64,
+        fill: 0xaa,
+    };
+    let app_b = PatternApp {
+        tag: "app-b",
+        size: 4096,
+        fill: 0xbb,
+    };
+
+    let mut slab = ProcessSlab::new();
+
+    // First binding: app A runs a trial on a freshly forked context.
+    let (proc_a, snap_a, spec_a) = scenario(app_a);
+    let mut sub = SlabSubstrate::new(slab.acquire(&proc_a), snap_a.clone(), false);
+    let report_a = sub.reexecute(&spec_a).unwrap();
+    assert!(report_a.passed, "benign replay must pass: {report_a:?}");
+    let digest_a = {
+        sub.restore(&snap_a).unwrap();
+        sub.snapshot().digest()
+    };
+    slab.release(sub.into_process());
+    assert_eq!(slab.reuses(), 0);
+
+    // Second binding: the SAME pooled context is rebound to app B.
+    let (proc_b, snap_b, spec_b) = scenario(app_b);
+    let mut reused = SlabSubstrate::new(slab.acquire(&proc_b), snap_b.clone(), false);
+    assert_eq!(slab.reuses(), 1, "the pooled context must be recycled");
+
+    // A fresh fork is the ground truth the recycled context must match.
+    let mut fresh = SlabSubstrate::new(proc_b.fork(), snap_b.clone(), false);
+
+    let report_reused = reused.reexecute(&spec_b).unwrap();
+    let report_fresh = fresh.reexecute(&spec_b).unwrap();
+    assert!(report_fresh.passed);
+    assert_eq!(report_reused.passed, report_fresh.passed);
+    assert_eq!(report_reused.manifests.len(), report_fresh.manifests.len());
+    assert_eq!(report_reused.alloc_sites, report_fresh.alloc_sites);
+    assert_eq!(report_reused.changed_objects, report_fresh.changed_objects);
+    assert_eq!(report_reused.elapsed_ns, report_fresh.elapsed_ns);
+
+    // Digest-exactness: after restoring both contexts from B's snapshot,
+    // their own snapshots must agree bit-for-bit — a stale page (or a
+    // stale cached page hash) surviving the rebind would break this.
+    reused.restore(&snap_b).unwrap();
+    fresh.restore(&snap_b).unwrap();
+    let digest_reused = reused.snapshot().digest();
+    let digest_fresh = fresh.snapshot().digest();
+    assert_eq!(digest_reused, digest_fresh);
+    assert_ne!(
+        digest_reused, digest_a,
+        "apps A and B must produce different snapshot digests"
+    );
+
+    // Third acquire: contexts keep cycling.
+    slab.release(reused.into_process());
+    let again = slab.acquire(&proc_b);
+    assert_eq!(slab.reuses(), 2);
+    assert_eq!(slab.acquisitions(), 3);
+    drop(again);
+}

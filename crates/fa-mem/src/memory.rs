@@ -1,6 +1,7 @@
 //! The simulated address space.
 
 use std::cell::Cell;
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -462,13 +463,35 @@ impl SimMemory {
 
     /// Restores the address space from a snapshot, discarding all changes
     /// made after it was taken.
+    ///
+    /// The restore is diff-aware: pages still `Arc`-shared with the
+    /// snapshot stay in place, so resetting a pooled trial context that
+    /// last ran from a nearby checkpoint only touches the diverged pages
+    /// (the slab-reuse hot path in fa-exec) instead of rebuilding the
+    /// whole map. The resulting page map is indistinguishable from a
+    /// wholesale copy of the snapshot's.
     pub fn restore(&mut self, snap: &MemSnapshot) {
-        self.regions = snap.regions.clone();
-        self.pages = snap.pages.clone();
-        self.next_region = snap.next_region;
-        self.dirty.clear();
+        // The cached write page sits outside `pages`; its post-snapshot
+        // contents are being discarded, so drop it rather than flush it.
         self.wcache = None;
         self.wcache_dirty = false;
+        self.regions.clone_from(&snap.regions);
+        self.next_region = snap.next_region;
+        self.pages
+            .retain(|pageno, _| snap.pages.contains_key(pageno));
+        for (pageno, page) in &snap.pages {
+            match self.pages.entry(*pageno) {
+                Entry::Occupied(mut live) => {
+                    if !Arc::ptr_eq(live.get(), page) {
+                        *live.get_mut() = Arc::clone(page);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(Arc::clone(page));
+                }
+            }
+        }
+        self.dirty.clear();
         self.rcache.set(None);
     }
 
@@ -662,6 +685,32 @@ mod tests {
         mem.restore(&snap);
         assert_eq!(mem.read_u64(base).unwrap(), 111);
         assert_eq!(mem.read_u64(base.offset(8192)).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_is_diff_aware() {
+        let (mut mem, base) = mapped();
+        let stride = PAGE_SIZE as u64;
+        for i in 0..4 {
+            mem.write_u64(base.offset(i * stride), i).unwrap();
+        }
+        let snap = mem.snapshot();
+        // Diverge one page, drop another's worth of mapping state, and
+        // materialize a page the snapshot never saw.
+        mem.write_u64(base.offset(stride), 999).unwrap();
+        mem.write_u64(base.offset(10 * stride), 7).unwrap();
+        mem.restore(&snap);
+        // Every restored page is the snapshot's own Arc, shared in place.
+        let again = mem.snapshot();
+        assert_eq!(again.page_count(), snap.page_count());
+        assert_eq!(again.content_digest(), snap.content_digest());
+        for i in 0..4 {
+            assert_eq!(mem.read_u64(base.offset(i * stride)).unwrap(), i);
+        }
+        assert_eq!(mem.read_u64(base.offset(10 * stride)).unwrap(), 0);
+        // A second restore with no intervening writes is a no-op walk.
+        mem.restore(&snap);
+        assert_eq!(mem.snapshot().content_digest(), snap.content_digest());
     }
 
     #[test]

@@ -241,6 +241,30 @@ impl Process {
         self.failure = None;
     }
 
+    /// Rebinds a pooled trial context to stand in for `template`,
+    /// adopting its input log, replay bounds, pacing, and drop set — the
+    /// proxy-owned state a [`Self::fork`] would copy but a
+    /// [`Self::restore`] leaves alone.
+    ///
+    /// The execution context (app, address space, allocator, clock) is
+    /// deliberately *not* reset here: a rebound process is only usable
+    /// after a `restore` from a snapshot, which replaces all of it. Until
+    /// then the context still holds the previous binding's state —
+    /// keeping it lets the diff-aware [`fa_mem::SimMemory::restore`]
+    /// reuse pages the pooled context already shares with the snapshot,
+    /// which is the entire point of pooling. All page mutation runs
+    /// through fa-mem's write paths, so per-page cached content hashes
+    /// can never go stale across a rebind.
+    pub fn rebind(&mut self, template: &Process) {
+        self.log.clone_from(&template.log);
+        self.cursor = template.cursor;
+        self.high_water = template.high_water;
+        self.failure = template.failure.clone();
+        self.bytes_delivered = template.bytes_delivered;
+        self.pacing = template.pacing;
+        self.skipped.clone_from(&template.skipped);
+    }
+
     /// Enables or disables arrival-gap pacing for first executions.
     pub fn set_pacing(&mut self, pacing: bool) {
         self.pacing = pacing;
@@ -393,6 +417,35 @@ mod tests {
         p.skip_current();
         let r = p.feed(InputBuilder::op(1).a(5).build());
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn rebind_then_restore_matches_fresh_fork() {
+        let mut template = launch();
+        template.feed(InputBuilder::op(1).a(10).build());
+        let snap = template.snapshot();
+        template.enqueue(InputBuilder::op(1).a(20).build());
+        template.enqueue(InputBuilder::op(1).a(30).build());
+
+        // A pooled context that previously ran someone else's trial.
+        let mut pooled = launch();
+        pooled.feed(InputBuilder::op(1).a(500).build());
+        pooled.set_pacing(false);
+
+        pooled.rebind(&template);
+        pooled.restore(&snap);
+        let mut fresh = template.fork();
+        fresh.restore(&snap);
+
+        assert_eq!(pooled.snapshot().digest(), fresh.snapshot().digest());
+        assert_eq!(pooled.cursor(), fresh.cursor());
+        assert_eq!(pooled.high_water(), fresh.high_water());
+        assert_eq!(pooled.bytes_delivered, fresh.bytes_delivered);
+        while let (Some(a), Some(b)) = (pooled.step(), fresh.step()) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        assert_eq!(pooled.cursor(), fresh.cursor());
+        assert_eq!(pooled.bytes_delivered, fresh.bytes_delivered);
     }
 
     #[test]

@@ -9,7 +9,7 @@ cargo build --release --offline
 cargo test -q --offline
 cargo test -q --offline -p fa-faults
 cargo fmt --check
-cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
 # Fault-injection liveness gate: every named scenario must leave the
 # runtime live (input conservation is asserted inside the bench).

@@ -25,6 +25,8 @@
 //!   delay-free quarantine, patches, traces ([`fa_allocext`]),
 //! * [`checkpoint`] — checkpoint ring + adaptive interval controller
 //!   ([`fa_checkpoint`]),
+//! * [`exec`] — the unified trial-execution substrate: replay harness,
+//!   trial specs and substrates, pooled trial contexts ([`fa_exec`]),
 //! * [`core`] — the diagnosis engine, patch pool, validation engine, bug
 //!   reports, supervisor runtime, and the Rx/restart baselines
 //!   ([`first_aid_core`]),
@@ -71,6 +73,7 @@
 pub use fa_allocext as allocext;
 pub use fa_apps as apps;
 pub use fa_checkpoint as checkpoint;
+pub use fa_exec as exec;
 pub use fa_fleet as fleet;
 pub use fa_heap as heap;
 pub use fa_mem as mem;
