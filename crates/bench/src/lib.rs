@@ -17,8 +17,10 @@
 //! | [`fleet`]  | Fleet immunization — shared patch pool vs per-worker ablation |
 //! | [`faults`] | Fault injection — pipeline-stage failures and the degradation ladder |
 //! | [`perf`]   | Wall-clock performance + parallel-diagnosis speedup regression gate |
+//! | [`crash`]  | Crash-safe supervision — journal recovery cost vs a cold fleet start |
 
 pub mod ablation;
+pub mod crash;
 pub mod faults;
 pub mod fig4;
 pub mod fig5;

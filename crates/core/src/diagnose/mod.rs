@@ -96,6 +96,12 @@ pub struct EngineConfig {
     pub reexec_retries: u32,
     /// Base backoff charged per flaky retry; doubles per attempt.
     pub retry_backoff_ns: u64,
+    /// Per-trial virtual-time deadline enforced by the hung-trial
+    /// watchdog; `0` disables the overrun check (injected hangs are
+    /// still reaped). A trial past its deadline is declared lost and
+    /// recovery degrades (descends the ladder) instead of wedging the
+    /// wave.
+    pub trial_deadline_ns: u64,
     /// Width of a speculative trial wave (worker threads running
     /// independent rollback/re-execution trials concurrently). `1`
     /// reproduces the sequential engine byte for byte; larger widths
@@ -114,6 +120,7 @@ impl Default for EngineConfig {
             deadline_ns: 120_000_000_000,
             reexec_retries: 2,
             retry_backoff_ns: 2_000_000,
+            trial_deadline_ns: 60_000_000_000,
             parallelism: 1,
         }
     }
@@ -200,6 +207,7 @@ pub struct DiagnosisEngine {
     waves: Cell<usize>,
     slab_reuses: Cell<usize>,
     trial_errors: Cell<usize>,
+    trial_hangs: Cell<usize>,
 }
 
 impl DiagnosisEngine {
@@ -220,6 +228,7 @@ impl DiagnosisEngine {
             waves: Cell::new(0),
             slab_reuses: Cell::new(0),
             trial_errors: Cell::new(0),
+            trial_hangs: Cell::new(0),
         }
     }
 
@@ -258,6 +267,12 @@ impl DiagnosisEngine {
     /// each degraded to a failed run instead of aborting diagnosis.
     pub fn trial_errors(&self) -> usize {
         self.trial_errors.get()
+    }
+
+    /// Hung trials reaped by the watchdog (injected hangs plus genuine
+    /// deadline overruns), counting every reap-and-retry.
+    pub fn trial_hangs(&self) -> usize {
+        self.trial_hangs.get()
     }
 
     /// True once the ledger has consumed the diagnosis deadline.

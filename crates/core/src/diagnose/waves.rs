@@ -14,7 +14,7 @@
 use fa_checkpoint::CheckpointManager;
 use fa_exec::{
     FaultGate, ManagedSubstrate, ProcessSlab, RunReport, SlabSubstrate, TrialLedger as Ledger,
-    TrialSpec, TrialSubstrate, ROLLBACK_COST_NS,
+    TrialSpec, TrialSubstrate, Watchdog, ROLLBACK_COST_NS,
 };
 use fa_proc::Process;
 
@@ -95,7 +95,19 @@ impl DiagnosisEngine {
                 }
                 cache.entries = results;
                 cache.charged = raw.elapsed_ns;
-                raw.elapsed_ns += penalty;
+                // The watchdog judges the leader at its commit point, so
+                // one wedged trial cannot stall the wave: a reaped leader
+                // degrades to a failed run and diagnosis moves on.
+                match self.watchdog().judge(raw.elapsed_ns) {
+                    Ok(wd) => raw.elapsed_ns += penalty + wd,
+                    Err(wd) => {
+                        raw = RunReport {
+                            passed: false,
+                            elapsed_ns: penalty + wd + ROLLBACK_COST_NS,
+                            ..RunReport::default()
+                        };
+                    }
+                }
                 ledger.charge(&raw);
                 raw
             }
@@ -120,9 +132,23 @@ impl DiagnosisEngine {
             Ok(penalty) => {
                 let extra = raw.elapsed_ns.saturating_sub(cache.charged);
                 cache.charged += extra;
-                let mut r = raw;
-                r.elapsed_ns = extra + penalty;
-                r
+                // Judge the trial's own elapsed time (not the wave-share
+                // increment) so the verdict is identical at any width.
+                match self.watchdog().judge(raw.elapsed_ns) {
+                    Ok(wd) => {
+                        let mut r = raw;
+                        r.elapsed_ns = extra + penalty + wd;
+                        r
+                    }
+                    Err(wd) => {
+                        self.spec_wasted.set(self.spec_wasted.get() + 1);
+                        RunReport {
+                            passed: false,
+                            elapsed_ns: extra + penalty + wd + ROLLBACK_COST_NS,
+                            ..RunReport::default()
+                        }
+                    }
+                }
             }
         }
     }
@@ -257,6 +283,20 @@ impl DiagnosisEngine {
         )
     }
 
+    /// The hung-trial watchdog over this engine's plan, deadline, and
+    /// retry budget. Like the gate, it resolves once per *committed*
+    /// trial, so injected hangs land in the same sequential order at any
+    /// parallelism.
+    fn watchdog(&self) -> Watchdog<'_> {
+        Watchdog::new(
+            &self.faults,
+            self.config.trial_deadline_ns,
+            self.config.reexec_retries,
+            self.config.retry_backoff_ns,
+            &self.trial_hangs,
+        )
+    }
+
     /// One re-execution, with bounded retry-with-backoff against flaky
     /// iterations: if the fault plan declares this re-execution flaky
     /// (it dies for reasons unrelated to the bug), the engine charges
@@ -276,9 +316,19 @@ impl DiagnosisEngine {
                 ..RunReport::default()
             },
             Ok(penalty) => {
-                let mut r = self.execute(process, manager, spec);
-                r.elapsed_ns += penalty;
-                r
+                let r = self.execute(process, manager, spec);
+                match self.watchdog().judge(r.elapsed_ns) {
+                    Ok(wd) => {
+                        let mut r = r;
+                        r.elapsed_ns += penalty + wd;
+                        r
+                    }
+                    Err(wd) => RunReport {
+                        passed: false,
+                        elapsed_ns: penalty + wd + ROLLBACK_COST_NS,
+                        ..RunReport::default()
+                    },
+                }
             }
         }
     }

@@ -72,7 +72,7 @@ pub use diagnose::{
 };
 pub use harness::{ReexecOptions, ReplayHarness, RunReport};
 pub use metrics::{DegradationMetrics, ThroughputSampler};
-pub use patchpool::PatchPool;
+pub use patchpool::{PatchPool, QuarantinePolicy};
 pub use report::BugReport;
 pub use runtime::{
     FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryKind, RecoveryRecord, RunSummary,
@@ -84,8 +84,8 @@ pub use validate::{ValidationEngine, ValidationOutcome};
 // fleet workers, benches) can run trials without depending on fa-exec
 // directly.
 pub use fa_exec::{
-    FaError, FaResult, FaultGate, ManagedSubstrate, ProcessSlab, SlabSubstrate, TrialLedger,
-    TrialOutcome, TrialSpec, TrialSubstrate, ROLLBACK_COST_NS,
+    Backoff, FaError, FaResult, FaultGate, ManagedSubstrate, ProcessSlab, SlabSubstrate,
+    TrialLedger, TrialOutcome, TrialSpec, TrialSubstrate, Watchdog, ROLLBACK_COST_NS,
 };
 
 // Re-export the patch and bug-type vocabulary for downstream users.
@@ -95,4 +95,7 @@ pub use fa_allocext::{BugType, Patch, PatchSet, PreventiveChange, GENERIC_SITE};
 pub use fa_allocext::{SentryConfig, SentryMetrics, TrapKind, TrapRecord};
 // Re-export the fault-injection vocabulary so harnesses need not depend
 // on fa-faults directly.
-pub use fa_faults::{FaultPlan, FaultPlanBuilder, FaultStage, Injection};
+pub use fa_faults::{FaultPlan, FaultPlanBuilder, FaultStage, Injection, KillPoint, KillSchedule};
+// Re-export the supervision journal so fleet supervisors and benches can
+// arm kill points and replay records without depending on fa-wal directly.
+pub use fa_wal::{parse_prefix, truncate_to_records, Wal, WalOp, WalRecord};

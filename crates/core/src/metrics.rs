@@ -30,6 +30,9 @@ pub struct DegradationMetrics {
     pub diagnosis_timeouts: usize,
     /// Flaky re-executions retried by the diagnosis engine.
     pub reexec_retries: usize,
+    /// Hung diagnosis trials reaped by the watchdog (injected hangs and
+    /// genuine per-trial deadline overruns).
+    pub trial_hangs: usize,
     /// Validation forks that died before producing a verdict.
     pub validation_fork_failures: usize,
     /// Patch-pool persistence I/O errors absorbed (retried or degraded).
@@ -54,6 +57,7 @@ impl DegradationMetrics {
         self.checkpoint_checksum_misses += other.checkpoint_checksum_misses;
         self.diagnosis_timeouts += other.diagnosis_timeouts;
         self.reexec_retries += other.reexec_retries;
+        self.trial_hangs += other.trial_hangs;
         self.validation_fork_failures += other.validation_fork_failures;
         self.pool_io_errors += other.pool_io_errors;
         self.pool_degraded |= other.pool_degraded;

@@ -12,22 +12,102 @@
 //! both bumped on every effective mutation. Idle workers poll the atomic
 //! (one relaxed load per input) and re-read their program's patch set
 //! only when it moved — no re-launch, no broadcast channel.
+//!
+//! Two crash-safety layers sit underneath:
+//!
+//! * **Journaling** ([`PatchPool::journaled`] / [`PatchPool::with_journal`]):
+//!   every effective mutation is appended to an `fa-wal` journal before
+//!   readers can observe it, and [`PatchPool::recover_from_journal`]
+//!   replays the log (idempotently, via a sequence-number watermark) to
+//!   the exact pre-crash epoch.
+//! * **Flap quarantine** ([`QuarantinePolicy`]): a call-site revoked
+//!   repeatedly across the fleet is quarantined; re-admission is paced
+//!   by an exponentially growing denial window and, once quarantined,
+//!   goes through a single-worker canary ([`PatchPool::for_worker`],
+//!   [`PatchPool::confirm_canary`]) before any fleet-wide re-publish.
 
 use std::collections::{HashMap, HashSet};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use fa_allocext::{Patch, PatchSet};
+use fa_exec::Backoff;
 use fa_faults::{FaultPlan, FaultStage};
 use fa_proc::CallSite;
+use fa_wal::{
+    CanaryOp, DenyOp, PoolSnapshot, ProgramSnapshot, PublishOp, QuarantineEntry, RevokeOp, SiteOp,
+    Wal, WalOp, WalRecord,
+};
 
 use crate::log;
 
 /// Persistence attempts before the pool gives up and goes in-memory.
 const PERSIST_ATTEMPTS: u32 = 3;
+
+/// Base virtual-time backoff between persistence retries (1 ms).
+const PERSIST_RETRY_BASE_NS: u64 = 1_000_000;
+
+/// When a call-site's patches may flap back in after revocation.
+///
+/// Disabled by default (a plain pool's tombstones are permanent, which
+/// is what single-process deployments and the existing revocation tests
+/// expect); the fleet supervisor enables it so one worker's flapping
+/// patch cannot permanently disable a site fleet-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Fleet-wide revocations after which the site is quarantined and
+    /// re-admission must go through a single-worker canary.
+    pub quarantine_after: u32,
+    /// Cap on the exponential denial window (in refused re-admission
+    /// attempts).
+    pub max_window: u32,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            quarantine_after: 3,
+            max_window: 64,
+        }
+    }
+}
+
+/// Flap bookkeeping for one revoked call-site.
+#[derive(Clone, Debug, Default)]
+struct SiteState {
+    /// Fleet-wide revocations of this site.
+    flaps: u32,
+    /// Refused re-admission attempts before the next one is accepted.
+    window: u32,
+    /// Denials recorded in the current window.
+    denials: u32,
+    /// Quarantined: re-admission is canary-only.
+    quarantined: bool,
+    /// An in-flight canary: `(worker, candidate patches)`.
+    canary: Option<(u64, Vec<Patch>)>,
+}
+
+impl SiteState {
+    /// State for a site first seen through the re-admission gate (a
+    /// tombstone that predates the policy): one denial before retry.
+    fn tracked() -> SiteState {
+        SiteState {
+            window: 1,
+            ..SiteState::default()
+        }
+    }
+}
+
+/// How one patch fares at the re-admission gate.
+enum Gate {
+    Publish,
+    Deny(u32),
+    Canary(u64),
+    Refuse,
+}
 
 #[derive(Default)]
 struct Pools {
@@ -36,15 +116,32 @@ struct Pools {
     /// Call-sites whose patches the health monitor revoked as
     /// ineffective. Tombstones: `add` refuses to re-admit patches at
     /// these sites, so a revoked patch can never re-propagate through
-    /// the fleet. In-memory only (a fresh deployment may retry).
+    /// the fleet. Without a [`QuarantinePolicy`] they are permanent
+    /// and in-memory only (a fresh deployment may retry).
     revoked_by_program: HashMap<String, HashSet<CallSite>>,
+    /// Flap bookkeeping per revoked site, populated only when a
+    /// quarantine policy is active (or replayed from a journal).
+    quarantine_by_program: HashMap<String, HashMap<CallSite, SiteState>>,
+    /// Replay watermark: highest journal sequence number applied, so
+    /// recovery is idempotent (replay twice == replay once).
+    last_seq: u64,
+    /// The active quarantine policy, if any.
+    policy: Option<QuarantinePolicy>,
+}
+
+impl Pools {
+    fn bump_epoch(&mut self, program: &str) {
+        *self.epoch_by_program.entry(program.to_owned()).or_insert(0) += 1;
+    }
 }
 
 /// A shared, optionally persistent pool of runtime patches, keyed by
 /// program name.
 ///
 /// Clones share the same underlying pool, so multiple supervised processes
-/// of the same program observe each other's patches immediately.
+/// of the same program observe each other's patches immediately. A
+/// worker-scoped clone ([`PatchPool::for_worker`]) additionally sees the
+/// canary patches admitted for its worker.
 #[derive(Clone)]
 pub struct PatchPool {
     inner: Arc<Mutex<Pools>>,
@@ -62,6 +159,12 @@ pub struct PatchPool {
     degraded: Arc<AtomicBool>,
     /// Persistence I/O errors absorbed so far (injected or real).
     io_errors: Arc<AtomicU64>,
+    /// Virtual time charged to persistence-retry backoff.
+    io_backoff: Arc<AtomicU64>,
+    /// The supervision journal, if this pool is crash-safe.
+    journal: Option<Wal>,
+    /// Worker scope of this clone: which canaries it sees.
+    scope: Option<u64>,
 }
 
 impl PatchPool {
@@ -75,6 +178,9 @@ impl PatchPool {
             faults: FaultPlan::none(),
             degraded: Arc::new(AtomicBool::new(false)),
             io_errors: Arc::new(AtomicU64::new(0)),
+            io_backoff: Arc::new(AtomicU64::new(0)),
+            journal: None,
+            scope: None,
         }
     }
 
@@ -128,19 +234,104 @@ impl PatchPool {
         }
         Ok(PatchPool {
             inner: Arc::new(Mutex::new(pools)),
-            version: Arc::new(AtomicU64::new(0)),
-            io_lock: Arc::new(Mutex::new(())),
             dir: Some(dir),
-            faults: FaultPlan::none(),
-            degraded: Arc::new(AtomicBool::new(false)),
-            io_errors: Arc::new(AtomicU64::new(0)),
+            ..PatchPool::in_memory()
         })
+    }
+
+    /// Creates a crash-safe pool journaled to `dir/pool.wal`, replaying
+    /// any existing journal to the pre-crash state. The journal *is*
+    /// the durable state (no per-program JSON files); auto-compaction
+    /// keeps it bounded.
+    pub fn journaled(dir: impl Into<PathBuf>) -> std::io::Result<PatchPool> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let wal = Wal::open(dir.join("pool.wal"))?;
+        wal.set_compact_every(256);
+        Ok(PatchPool::with_journal(wal))
+    }
+
+    /// Creates a pool journaled to an already-open [`Wal`], replaying
+    /// whatever valid prefix the journal holds.
+    pub fn with_journal(wal: Wal) -> PatchPool {
+        let pool = PatchPool {
+            journal: Some(wal),
+            ..PatchPool::in_memory()
+        };
+        pool.recover_from_journal();
+        pool
     }
 
     /// Subjects this pool's persistence writes to `faults`.
     pub fn with_faults(mut self, faults: FaultPlan) -> PatchPool {
         self.faults = faults;
         self
+    }
+
+    /// Enables the flap quarantine with `policy` (shared by all clones).
+    pub fn enable_quarantine(&self, policy: QuarantinePolicy) {
+        self.inner.lock().policy = Some(policy);
+    }
+
+    /// Builder form of [`PatchPool::enable_quarantine`].
+    pub fn with_quarantine(self, policy: QuarantinePolicy) -> PatchPool {
+        self.enable_quarantine(policy);
+        self
+    }
+
+    /// A worker-scoped clone: shares all pool state, but `add` may admit
+    /// canaries for this worker and `get` includes them.
+    pub fn for_worker(&self, worker: u64) -> PatchPool {
+        PatchPool {
+            scope: Some(worker),
+            ..self.clone()
+        }
+    }
+
+    /// The worker scope of this clone, if any.
+    pub fn scope(&self) -> Option<u64> {
+        self.scope
+    }
+
+    /// The supervision journal, if this pool is crash-safe.
+    pub fn journal(&self) -> Option<&Wal> {
+        self.journal.as_ref()
+    }
+
+    /// Appends a non-pool supervision record (checkpoint registration,
+    /// ladder descent, worker membership, ...) to the journal, if any,
+    /// keeping the replay watermark in step.
+    pub fn journal_append(&self, op: WalOp) {
+        if self.journal.is_none() {
+            return;
+        }
+        let mut pools = self.inner.lock();
+        self.journal_ops(&mut pools, vec![op]);
+    }
+
+    /// Replays the journal into the pool. Records at or below the
+    /// watermark are skipped, so calling this twice is the same as
+    /// calling it once (and calling it on a live pool is a no-op).
+    /// Returns the number of records newly applied.
+    pub fn recover_from_journal(&self) -> usize {
+        let Some(wal) = &self.journal else { return 0 };
+        let records = wal.replay();
+        let mut pools = self.inner.lock();
+        let mut applied = 0usize;
+        let mut bumps = 0u64;
+        for record in &records {
+            if Self::apply_record(&mut pools, record) {
+                applied += 1;
+                if record.op.bumps_epoch() || matches!(record.op, WalOp::Snapshot(_)) {
+                    bumps += 1;
+                }
+            }
+        }
+        drop(pools);
+        if bumps > 0 {
+            self.version.fetch_add(bumps, Ordering::AcqRel);
+        }
+        applied
     }
 
     /// True once the pool gave up on persistence and went in-memory.
@@ -153,23 +344,43 @@ impl PatchPool {
         self.io_errors.load(Ordering::Relaxed)
     }
 
-    /// Returns the patch set for a program (empty if none).
+    /// Virtual time charged to persistence-retry backoff so far.
+    pub fn io_backoff_ns(&self) -> u64 {
+        self.io_backoff.load(Ordering::Relaxed)
+    }
+
+    fn set_for(&self, pools: &Pools, program: &str) -> PatchSet {
+        let mut patches: Vec<Patch> = pools
+            .by_program
+            .get(program)
+            .map(|list| list.to_vec())
+            .unwrap_or_default();
+        if let Some(worker) = self.scope {
+            if let Some(sites) = pools.quarantine_by_program.get(program) {
+                for st in sites.values() {
+                    if let Some((w, canary)) = &st.canary {
+                        if *w == worker {
+                            patches.extend(canary.iter().cloned());
+                        }
+                    }
+                }
+            }
+        }
+        PatchSet::from_patches(patches)
+    }
+
+    /// Returns the patch set for a program (empty if none). A
+    /// worker-scoped clone also sees its own canaries.
     pub fn get(&self, program: &str) -> PatchSet {
         let pools = self.inner.lock();
-        match pools.by_program.get(program) {
-            Some(patches) => PatchSet::from_patches(patches.iter().cloned()),
-            None => PatchSet::new(),
-        }
+        self.set_for(&pools, program)
     }
 
     /// Returns the patch set and epoch for a program in one lock hold,
     /// so a reader can never observe a set newer than its epoch.
     pub fn get_with_epoch(&self, program: &str) -> (PatchSet, u64) {
         let pools = self.inner.lock();
-        let set = match pools.by_program.get(program) {
-            Some(patches) => PatchSet::from_patches(patches.iter().cloned()),
-            None => PatchSet::new(),
-        };
+        let set = self.set_for(&pools, program);
         let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
         (set, epoch)
     }
@@ -192,7 +403,8 @@ impl PatchPool {
             .unwrap_or(0)
     }
 
-    /// Returns the number of patches stored for a program.
+    /// Returns the number of patches stored for a program (canaries
+    /// excluded — they are not fleet state yet).
     pub fn len(&self, program: &str) -> usize {
         self.inner
             .lock()
@@ -208,43 +420,138 @@ impl PatchPool {
 
     /// Adds patches for a program, skipping exact duplicates and
     /// patches at revoked call-sites (tombstoned by the health
-    /// monitor), and persists. Returns how many patches were actually
-    /// admitted.
+    /// monitor), and persists. With a [`QuarantinePolicy`] active,
+    /// revoked sites may be re-admitted after their denial window — or,
+    /// once quarantined, as a canary visible only to this clone's
+    /// worker. Returns how many patches were actually admitted
+    /// (canaries included).
     pub fn add(&self, program: &str, patches: impl IntoIterator<Item = Patch>) -> usize {
         let mut pools = self.inner.lock();
-        let revoked = pools
-            .revoked_by_program
-            .get(program)
-            .cloned()
-            .unwrap_or_default();
-        let list = pools.by_program.entry(program.to_owned()).or_default();
-        let mut added = 0;
-        let mut skipped_revoked = 0;
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut published: Vec<Patch> = Vec::new();
+        let mut bumps = 0u64;
+        let mut canaried = 0usize;
+        let mut skipped_revoked = 0usize;
+
         for p in patches {
-            if revoked.contains(&p.site) {
+            let revoked = pools
+                .revoked_by_program
+                .get(program)
+                .is_some_and(|s| s.contains(&p.site));
+            if !revoked {
+                let list = pools.by_program.entry(program.to_owned()).or_default();
+                if !list.contains(&p) && !published.contains(&p) {
+                    published.push(p);
+                }
+                continue;
+            }
+            if pools.policy.is_none() {
                 skipped_revoked += 1;
                 continue;
             }
-            if !list.contains(&p) {
-                list.push(p);
-                added += 1;
+            let scope = self.scope;
+            let gate = {
+                let st = pools
+                    .quarantine_by_program
+                    .entry(program.to_owned())
+                    .or_default()
+                    .entry(p.site)
+                    .or_insert_with(SiteState::tracked);
+                if st.quarantined {
+                    match scope {
+                        // Fleet-wide publication of a quarantined site is
+                        // always refused: re-admission goes via a canary.
+                        None => Gate::Refuse,
+                        Some(worker) => {
+                            if st.canary.is_some() {
+                                Gate::Refuse
+                            } else if st.denials < st.window {
+                                st.denials += 1;
+                                Gate::Deny(st.denials)
+                            } else {
+                                st.denials = 0;
+                                Gate::Canary(worker)
+                            }
+                        }
+                    }
+                } else if st.denials < st.window {
+                    st.denials += 1;
+                    Gate::Deny(st.denials)
+                } else {
+                    st.denials = 0;
+                    Gate::Publish
+                }
+            };
+            match gate {
+                Gate::Refuse => skipped_revoked += 1,
+                Gate::Deny(denials) => {
+                    skipped_revoked += 1;
+                    ops.push(WalOp::SiteDenied(DenyOp {
+                        program: program.to_owned(),
+                        site: p.site,
+                        denials,
+                    }));
+                }
+                Gate::Canary(worker) => {
+                    let site = p.site;
+                    let candidate = vec![p];
+                    if let Some(st) = pools
+                        .quarantine_by_program
+                        .get_mut(program)
+                        .and_then(|m| m.get_mut(&site))
+                    {
+                        st.canary = Some((worker, candidate.clone()));
+                    }
+                    canaried += candidate.len();
+                    bumps += 1;
+                    pools.bump_epoch(program);
+                    log::warn(format!(
+                        "patch pool for {program}: quarantined site re-admitted \
+                         as a canary on worker {worker}"
+                    ));
+                    ops.push(WalOp::CanaryAdmit(CanaryOp {
+                        program: program.to_owned(),
+                        site,
+                        worker,
+                        patches: candidate,
+                    }));
+                }
+                Gate::Publish => {
+                    // The denial window was served: the site may try again
+                    // fleet-wide. Clear the tombstone and admit normally.
+                    if let Some(set) = pools.revoked_by_program.get_mut(program) {
+                        set.remove(&p.site);
+                    }
+                    let list = pools.by_program.entry(program.to_owned()).or_default();
+                    if !list.contains(&p) && !published.contains(&p) {
+                        published.push(p);
+                    }
+                }
             }
         }
+
         if skipped_revoked > 0 {
             log::warn(format!(
                 "patch pool for {program}: refused {skipped_revoked} patch(es) at revoked call-site(s)"
             ));
         }
-        if added == 0 {
-            return 0;
+        if !published.is_empty() {
+            let list = pools.by_program.entry(program.to_owned()).or_default();
+            list.extend(published.iter().cloned());
+            bumps += 1;
+            pools.bump_epoch(program);
+            ops.push(WalOp::PatchPublish(PublishOp {
+                program: program.to_owned(),
+                patches: published.clone(),
+            }));
         }
-        *pools
-            .epoch_by_program
-            .entry(program.to_owned())
-            .or_insert(0) += 1;
+        let added = published.len() + canaried;
+        self.journal_ops(&mut pools, ops);
         drop(pools);
-        self.version.fetch_add(1, Ordering::AcqRel);
-        self.persist(program);
+        if bumps > 0 {
+            self.version.fetch_add(bumps, Ordering::AcqRel);
+            self.persist(program);
+        }
         added
     }
 
@@ -252,8 +559,11 @@ impl PatchPool {
     /// tombstones the site so `add` refuses to re-admit them (one
     /// worker's ineffective patch must not keep re-poisoning the
     /// fleet). Bumps the epoch so sibling workers uninstall the patch
-    /// on their next refresh. Returns `false` if the site was already
-    /// revoked and held no patches.
+    /// on their next refresh. With a [`QuarantinePolicy`] active, each
+    /// revocation is a *flap*: the denial window doubles and, past the
+    /// policy threshold, the site is quarantined (an in-flight canary
+    /// is cancelled and counts as a failed trial). Returns `false` if
+    /// the site was already revoked and held no patches.
     pub fn revoke(&self, program: &str, site: CallSite) -> bool {
         let mut pools = self.inner.lock();
         let newly_tombstoned = pools
@@ -269,17 +579,124 @@ impl PatchPool {
             }
             None => false,
         };
-        if !newly_tombstoned && !removed {
+        let canary_cancelled = pools.policy.is_some()
+            && pools
+                .quarantine_by_program
+                .get_mut(program)
+                .and_then(|m| m.get_mut(&site))
+                .is_some_and(|st| st.canary.take().is_some());
+        if !newly_tombstoned && !removed && !canary_cancelled {
             return false;
         }
-        *pools
-            .epoch_by_program
-            .entry(program.to_owned())
-            .or_insert(0) += 1;
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut flap = (0u32, 0u32, false);
+        if let Some(policy) = pools.policy {
+            if canary_cancelled {
+                ops.push(WalOp::CanaryReject(SiteOp {
+                    program: program.to_owned(),
+                    site,
+                }));
+            }
+            let st = pools
+                .quarantine_by_program
+                .entry(program.to_owned())
+                .or_default()
+                .entry(site)
+                .or_insert_with(SiteState::tracked);
+            st.flaps += 1;
+            st.denials = 0;
+            st.window = (1u32 << (st.flaps - 1).min(16)).min(policy.max_window.max(1));
+            let was_quarantined = st.quarantined;
+            st.quarantined = st.flaps >= policy.quarantine_after;
+            flap = (st.flaps, st.window, st.quarantined);
+            if st.quarantined && !was_quarantined {
+                log::warn(format!(
+                    "patch pool for {program}: site flapped {} times, quarantined \
+                     (re-admission is canary-only)",
+                    st.flaps
+                ));
+            }
+        }
+        ops.push(WalOp::PatchRevoke(RevokeOp {
+            program: program.to_owned(),
+            site,
+            flaps: flap.0,
+            window: flap.1,
+            quarantined: flap.2,
+        }));
+        pools.bump_epoch(program);
+        self.journal_ops(&mut pools, ops);
         drop(pools);
         self.version.fetch_add(1, Ordering::AcqRel);
         self.persist(program);
         true
+    }
+
+    /// Promotes this worker's validated canaries for `program` to the
+    /// fleet: the candidate patches are published, the tombstone and
+    /// quarantine are lifted. Called by a fleet worker after a canary
+    /// patch demonstrably neutralized the bug (a patch hit). Returns
+    /// the number of patches promoted fleet-wide.
+    pub fn confirm_canary(&self, program: &str) -> usize {
+        let Some(worker) = self.scope else { return 0 };
+        let mut pools = self.inner.lock();
+        let sites: Vec<CallSite> = pools
+            .quarantine_by_program
+            .get(program)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, st)| st.canary.as_ref().is_some_and(|(w, _)| *w == worker))
+                    .map(|(site, _)| *site)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if sites.is_empty() {
+            return 0;
+        }
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut bumps = 0u64;
+        let mut promoted = 0usize;
+        for site in sites {
+            let Some((_, candidate)) = pools
+                .quarantine_by_program
+                .get_mut(program)
+                .and_then(|m| m.get_mut(&site))
+                .and_then(|st| {
+                    st.quarantined = false;
+                    st.denials = 0;
+                    st.canary.take()
+                })
+            else {
+                continue;
+            };
+            if let Some(set) = pools.revoked_by_program.get_mut(program) {
+                set.remove(&site);
+            }
+            let list = pools.by_program.entry(program.to_owned()).or_default();
+            for p in candidate {
+                if !list.contains(&p) {
+                    list.push(p);
+                    promoted += 1;
+                }
+            }
+            bumps += 1;
+            pools.bump_epoch(program);
+            log::warn(format!(
+                "patch pool for {program}: canary on worker {worker} validated; \
+                 patches promoted fleet-wide"
+            ));
+            ops.push(WalOp::CanaryPromote(SiteOp {
+                program: program.to_owned(),
+                site,
+            }));
+        }
+        self.journal_ops(&mut pools, ops);
+        drop(pools);
+        if bumps > 0 {
+            self.version.fetch_add(bumps, Ordering::AcqRel);
+            self.persist(program);
+        }
+        promoted
     }
 
     /// Returns `true` if patches at `site` have been revoked.
@@ -300,6 +717,36 @@ impl PatchPool {
             .map_or(0, HashSet::len)
     }
 
+    /// Returns `true` if `site` is quarantined (canary-only re-admission).
+    pub fn is_quarantined(&self, program: &str, site: CallSite) -> bool {
+        self.inner
+            .lock()
+            .quarantine_by_program
+            .get(program)
+            .and_then(|m| m.get(&site))
+            .is_some_and(|st| st.quarantined)
+    }
+
+    /// Fleet-wide flap count of `site` (revocations under the policy).
+    pub fn flap_count(&self, program: &str, site: CallSite) -> u32 {
+        self.inner
+            .lock()
+            .quarantine_by_program
+            .get(program)
+            .and_then(|m| m.get(&site))
+            .map_or(0, |st| st.flaps)
+    }
+
+    /// Returns `true` if a canary for `site` is in flight.
+    pub fn has_canary(&self, program: &str, site: CallSite) -> bool {
+        self.inner
+            .lock()
+            .quarantine_by_program
+            .get(program)
+            .and_then(|m| m.get(&site))
+            .is_some_and(|st| st.canary.is_some())
+    }
+
     /// Removes all patches at the given call-site (validation failure).
     pub fn remove_site(&self, program: &str, site: fa_proc::CallSite) {
         let mut pools = self.inner.lock();
@@ -311,27 +758,284 @@ impl PatchPool {
         if list.len() == before {
             return;
         }
-        *pools
-            .epoch_by_program
-            .entry(program.to_owned())
-            .or_insert(0) += 1;
+        pools.bump_epoch(program);
+        let ops = vec![WalOp::PatchRemove(SiteOp {
+            program: program.to_owned(),
+            site,
+        })];
+        self.journal_ops(&mut pools, ops);
         drop(pools);
         self.version.fetch_add(1, Ordering::AcqRel);
         self.persist(program);
     }
 
-    /// Persists atomically: write a temp file in the same directory, then
-    /// rename over the target, so a crash mid-write can never leave a
-    /// torn `*.patches.json` for the loader to discard.
+    /// Canonical JSON of one program's complete pool state (patches,
+    /// tombstones, quarantine bookkeeping, epoch), with every unordered
+    /// collection sorted — byte-identical across pools holding the same
+    /// state, which is what the crash acceptance sweep compares.
+    pub fn export_state(&self, program: &str) -> String {
+        let pools = self.inner.lock();
+        let snap = Self::program_snapshot(&pools, program);
+        serde_json::to_string(&snap).expect("pool state always serializes")
+    }
+
+    fn program_snapshot(pools: &Pools, program: &str) -> ProgramSnapshot {
+        let mut patches = pools.by_program.get(program).cloned().unwrap_or_default();
+        patches.sort_by_key(|p| {
+            (
+                p.site,
+                serde_json::to_string(p).expect("patches always serialize"),
+            )
+        });
+        let mut revoked: Vec<CallSite> = pools
+            .revoked_by_program
+            .get(program)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        revoked.sort();
+        let mut quarantine: Vec<QuarantineEntry> = pools
+            .quarantine_by_program
+            .get(program)
+            .map(|m| {
+                m.iter()
+                    .map(|(site, st)| QuarantineEntry {
+                        site: *site,
+                        flaps: st.flaps,
+                        window: st.window,
+                        denials: st.denials,
+                        quarantined: st.quarantined,
+                        canary_worker: st.canary.as_ref().map(|(w, _)| *w),
+                        canary_patches: st
+                            .canary
+                            .as_ref()
+                            .map(|(_, ps)| ps.clone())
+                            .unwrap_or_default(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        quarantine.sort_by_key(|e| e.site);
+        ProgramSnapshot {
+            program: program.to_owned(),
+            epoch: pools.epoch_by_program.get(program).copied().unwrap_or(0),
+            patches,
+            revoked,
+            quarantine,
+        }
+    }
+
+    fn full_snapshot(pools: &Pools) -> PoolSnapshot {
+        let mut programs: Vec<&String> = pools
+            .by_program
+            .keys()
+            .chain(pools.epoch_by_program.keys())
+            .chain(pools.revoked_by_program.keys())
+            .chain(pools.quarantine_by_program.keys())
+            .collect();
+        programs.sort();
+        programs.dedup();
+        PoolSnapshot {
+            programs: programs
+                .into_iter()
+                .map(|p| Self::program_snapshot(pools, p))
+                .collect(),
+        }
+    }
+
+    /// Appends the mutation records just produced (in mutation order,
+    /// under the pool lock so journal order matches observation order),
+    /// advancing the replay watermark, and compacts when due.
+    fn journal_ops(&self, pools: &mut Pools, ops: Vec<WalOp>) {
+        let Some(wal) = &self.journal else { return };
+        for op in ops {
+            if let Some(seq) = wal.append(op) {
+                pools.last_seq = seq;
+            }
+        }
+        if wal.needs_compaction() {
+            let snapshot = Self::full_snapshot(pools);
+            if let Some(seq) = wal.compact(snapshot) {
+                pools.last_seq = seq;
+            }
+        }
+    }
+
+    /// Applies one journal record to the pool state; `false` if it was
+    /// at or below the watermark (already applied). Quarantine records
+    /// carry their resulting counters, so replay needs no policy.
+    fn apply_record(pools: &mut Pools, record: &WalRecord) -> bool {
+        if record.seq <= pools.last_seq {
+            return false;
+        }
+        pools.last_seq = record.seq;
+        match &record.op {
+            WalOp::PatchPublish(op) => {
+                // A publish implies every carried site was admissible:
+                // clear any tombstone (re-admission) and its denials.
+                for p in &op.patches {
+                    if let Some(set) = pools.revoked_by_program.get_mut(&op.program) {
+                        set.remove(&p.site);
+                    }
+                    if let Some(st) = pools
+                        .quarantine_by_program
+                        .get_mut(&op.program)
+                        .and_then(|m| m.get_mut(&p.site))
+                    {
+                        st.denials = 0;
+                    }
+                }
+                let list = pools.by_program.entry(op.program.clone()).or_default();
+                for p in &op.patches {
+                    if !list.contains(p) {
+                        list.push(p.clone());
+                    }
+                }
+                pools.bump_epoch(&op.program);
+            }
+            WalOp::PatchRevoke(op) => {
+                pools
+                    .revoked_by_program
+                    .entry(op.program.clone())
+                    .or_default()
+                    .insert(op.site);
+                if let Some(list) = pools.by_program.get_mut(&op.program) {
+                    list.retain(|p| p.site != op.site);
+                }
+                if op.flaps > 0 {
+                    let st = pools
+                        .quarantine_by_program
+                        .entry(op.program.clone())
+                        .or_default()
+                        .entry(op.site)
+                        .or_insert_with(SiteState::tracked);
+                    st.flaps = op.flaps;
+                    st.window = op.window;
+                    st.denials = 0;
+                    st.quarantined = op.quarantined;
+                }
+                pools.bump_epoch(&op.program);
+            }
+            WalOp::PatchRemove(op) => {
+                if let Some(list) = pools.by_program.get_mut(&op.program) {
+                    list.retain(|p| p.site != op.site);
+                }
+                pools.bump_epoch(&op.program);
+            }
+            WalOp::SiteDenied(op) => {
+                let st = pools
+                    .quarantine_by_program
+                    .entry(op.program.clone())
+                    .or_default()
+                    .entry(op.site)
+                    .or_insert_with(SiteState::tracked);
+                st.denials = op.denials;
+            }
+            WalOp::CanaryAdmit(op) => {
+                let st = pools
+                    .quarantine_by_program
+                    .entry(op.program.clone())
+                    .or_default()
+                    .entry(op.site)
+                    .or_insert_with(SiteState::tracked);
+                st.canary = Some((op.worker, op.patches.clone()));
+                st.denials = 0;
+                pools.bump_epoch(&op.program);
+            }
+            WalOp::CanaryPromote(op) => {
+                let candidate = pools
+                    .quarantine_by_program
+                    .get_mut(&op.program)
+                    .and_then(|m| m.get_mut(&op.site))
+                    .and_then(|st| {
+                        st.quarantined = false;
+                        st.denials = 0;
+                        st.canary.take()
+                    });
+                if let Some(set) = pools.revoked_by_program.get_mut(&op.program) {
+                    set.remove(&op.site);
+                }
+                if let Some((_, patches)) = candidate {
+                    let list = pools.by_program.entry(op.program.clone()).or_default();
+                    for p in patches {
+                        if !list.contains(&p) {
+                            list.push(p);
+                        }
+                    }
+                }
+                pools.bump_epoch(&op.program);
+            }
+            WalOp::CanaryReject(op) => {
+                if let Some(st) = pools
+                    .quarantine_by_program
+                    .get_mut(&op.program)
+                    .and_then(|m| m.get_mut(&op.site))
+                {
+                    st.canary = None;
+                }
+            }
+            WalOp::Snapshot(snap) => {
+                pools.by_program.clear();
+                pools.epoch_by_program.clear();
+                pools.revoked_by_program.clear();
+                pools.quarantine_by_program.clear();
+                for prog in &snap.programs {
+                    pools
+                        .by_program
+                        .insert(prog.program.clone(), prog.patches.clone());
+                    pools
+                        .epoch_by_program
+                        .insert(prog.program.clone(), prog.epoch);
+                    pools
+                        .revoked_by_program
+                        .insert(prog.program.clone(), prog.revoked.iter().copied().collect());
+                    let sites: HashMap<CallSite, SiteState> = prog
+                        .quarantine
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.site,
+                                SiteState {
+                                    flaps: e.flaps,
+                                    window: e.window,
+                                    denials: e.denials,
+                                    quarantined: e.quarantined,
+                                    canary: e.canary_worker.map(|w| (w, e.canary_patches.clone())),
+                                },
+                            )
+                        })
+                        .collect();
+                    if !sites.is_empty() {
+                        pools
+                            .quarantine_by_program
+                            .insert(prog.program.clone(), sites);
+                    }
+                }
+            }
+            // Runtime/fleet records: not pool state, only the watermark
+            // advances (so replay order stays strict).
+            WalOp::CheckpointRegister(_)
+            | WalOp::CheckpointPrune(_)
+            | WalOp::SentrySuppress(_)
+            | WalOp::LadderDescend(_)
+            | WalOp::WorkerJoin(_)
+            | WalOp::WorkerLeave(_) => {}
+        }
+        true
+    }
+
+    /// Persists atomically through [`fa_wal::write_atomic`] (write a
+    /// temp file, fsync, rename), so a crash mid-write can never leave
+    /// a torn `*.patches.json` for the loader to discard.
     ///
     /// Takes the pool's IO lock and re-reads the current patch list under
     /// it, so the file on disk always ends at the newest state even when
     /// several workers persist concurrently.
     ///
     /// I/O errors (injected via the fault plan or real) are retried up
-    /// to [`PERSIST_ATTEMPTS`] times; after that the pool flips to
-    /// degraded in-memory operation — patches keep working for this
-    /// deployment, they just will not survive it.
+    /// to [`PERSIST_ATTEMPTS`] times on the shared [`Backoff`] policy;
+    /// after that the pool flips to degraded in-memory operation —
+    /// patches keep working for this deployment, they just will not
+    /// survive it.
     fn persist(&self, program: &str) {
         let Some(dir) = &self.dir else { return };
         if self.degraded.load(Ordering::Relaxed) {
@@ -353,15 +1057,19 @@ impl PatchPool {
                 return;
             }
         };
-        let tmp = dir.join(format!(
-            ".{program}.patches.json.tmp-{}",
-            std::process::id()
-        ));
+        let mut backoff = Backoff::new(PERSIST_RETRY_BASE_NS, PERSIST_RETRY_BASE_NS << 8);
         for attempt in 1..=PERSIST_ATTEMPTS {
-            match self.try_write(&tmp, &path, &json) {
+            let outcome = if self.faults.should_fail(FaultStage::PoolPersistIo) {
+                Err(std::io::Error::other("injected pool persistence fault"))
+            } else {
+                fa_wal::write_atomic(&path, json.as_bytes())
+            };
+            match outcome {
                 Ok(()) => return,
                 Err(e) => {
                     self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.io_backoff
+                        .fetch_add(backoff.next_delay_ns(), Ordering::Relaxed);
                     log::warn(format!(
                         "patch persistence for {program} failed \
                          (attempt {attempt}/{PERSIST_ATTEMPTS}): {e}"
@@ -374,19 +1082,6 @@ impl PatchPool {
             "patch persistence for {program} failed {PERSIST_ATTEMPTS} times; \
              continuing in-memory (degraded)"
         ));
-    }
-
-    /// One temp-write + rename attempt, subject to the fault plan.
-    fn try_write(&self, tmp: &Path, path: &Path, json: &str) -> std::io::Result<()> {
-        if self.faults.should_fail(FaultStage::PoolPersistIo) {
-            return Err(std::io::Error::other("injected pool persistence fault"));
-        }
-        std::fs::write(tmp, json)?;
-        if let Err(e) = std::fs::rename(tmp, path) {
-            let _ = std::fs::remove_file(tmp);
-            return Err(e);
-        }
-        Ok(())
     }
 }
 
@@ -647,6 +1342,7 @@ mod tests {
         let (_, lines) = log::captured(|| pool.add("squid", [patch(BugType::BufferOverflow, 1)]));
         assert_eq!(pool.io_error_count(), 3, "three attempts, three errors");
         assert!(pool.is_degraded());
+        assert!(pool.io_backoff_ns() > 0, "retries charged virtual backoff");
         assert!(
             lines.iter().any(|l| l.contains("continuing in-memory")),
             "degradation is logged: {lines:?}"
@@ -713,6 +1409,187 @@ mod tests {
             lines.iter().any(|l| l.contains("damaged patch file")),
             "warning goes through the log facility: {lines:?}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn journal_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fa-pool-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn journaled_pool_recovers_to_the_exact_pre_crash_state() {
+        let dir = journal_dir("wal-roundtrip");
+        let pool = PatchPool::journaled(&dir).unwrap();
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        pool.add("apache", [patch(BugType::BufferOverflow, 2)]);
+        pool.revoke("apache", CallSite([1, 0, 0]));
+        pool.add("squid", [patch(BugType::UninitRead, 3)]);
+        let live = pool.export_state("apache");
+        let live_squid = pool.export_state("squid");
+
+        // A fresh pool over the same journal (a restarted supervisor)
+        // lands on byte-identical state, epochs included.
+        let recovered = PatchPool::journaled(&dir).unwrap();
+        assert_eq!(recovered.export_state("apache"), live);
+        assert_eq!(recovered.export_state("squid"), live_squid);
+        assert_eq!(recovered.epoch("apache"), pool.epoch("apache"));
+        assert!(recovered.is_revoked("apache", CallSite([1, 0, 0])));
+
+        // Replay is idempotent: a second recovery applies nothing.
+        assert_eq!(recovered.recover_from_journal(), 0, "replay twice == once");
+        assert_eq!(recovered.export_state("apache"), live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_compaction_preserves_recovered_state() {
+        let dir = journal_dir("wal-compact");
+        let pool = PatchPool::journaled(&dir).unwrap();
+        pool.journal().unwrap().set_compact_every(4);
+        for id in 1..=9 {
+            pool.add("mutt", [patch(BugType::BufferOverflow, id)]);
+        }
+        pool.revoke("mutt", CallSite([3, 0, 0]));
+        let live = pool.export_state("mutt");
+        let recovered = PatchPool::journaled(&dir).unwrap();
+        assert_eq!(recovered.export_state("mutt"), live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flapping_site_is_quarantined_after_the_policy_threshold() {
+        let pool = PatchPool::in_memory().with_quarantine(QuarantinePolicy::default());
+        let site = CallSite([1, 0, 0]);
+
+        // Flap 1: revoke; window 1 -> one denial, then re-admission.
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        assert!(pool.revoke("apache", site));
+        assert_eq!(pool.flap_count("apache", site), 1);
+        assert_eq!(pool.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        assert_eq!(
+            pool.add("apache", [patch(BugType::DanglingRead, 1)]),
+            1,
+            "window served: the site is re-admitted"
+        );
+        assert!(!pool.is_revoked("apache", site), "tombstone lifted");
+
+        // Flap 2: window 2 -> two denials before re-admission.
+        assert!(pool.revoke("apache", site));
+        assert_eq!(pool.flap_count("apache", site), 2);
+        for _ in 0..2 {
+            assert_eq!(pool.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        }
+        assert_eq!(pool.add("apache", [patch(BugType::DanglingRead, 1)]), 1);
+
+        // Flap 3: quarantined. Unscoped adds are refused forever.
+        assert!(pool.revoke("apache", site));
+        assert!(pool.is_quarantined("apache", site));
+        for _ in 0..16 {
+            assert_eq!(
+                pool.add("apache", [patch(BugType::DanglingRead, 1)]),
+                0,
+                "fleet-wide re-publication of a quarantined site is refused"
+            );
+        }
+        assert!(pool.is_revoked("apache", site));
+    }
+
+    #[test]
+    fn quarantined_site_readmits_via_a_single_worker_canary() {
+        let pool = PatchPool::in_memory().with_quarantine(QuarantinePolicy {
+            quarantine_after: 1,
+            max_window: 64,
+        });
+        let site = CallSite([1, 0, 0]);
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        assert!(pool.revoke("apache", site));
+        assert!(pool.is_quarantined("apache", site));
+
+        let worker0 = pool.for_worker(0);
+        let worker1 = pool.for_worker(1);
+
+        // Window 1: the first scoped attempt is denied, the second is
+        // admitted — as a canary visible only to worker 0.
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 1);
+        assert!(pool.has_canary("apache", site));
+        assert_eq!(
+            worker0.get("apache").len(),
+            1,
+            "canary visible to its worker"
+        );
+        assert_eq!(worker1.get("apache").len(), 0, "invisible to siblings");
+        assert_eq!(pool.get("apache").len(), 0, "and to the unscoped pool");
+        assert_eq!(pool.len("apache"), 0, "not fleet state yet");
+
+        // While the canary flies, nobody else may start another.
+        assert_eq!(worker1.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+
+        // The canary validates (a patch hit on worker 0): promote.
+        assert_eq!(worker0.confirm_canary("apache"), 1);
+        assert!(!pool.is_quarantined("apache", site));
+        assert!(!pool.is_revoked("apache", site));
+        assert_eq!(worker1.get("apache").len(), 1, "promoted fleet-wide");
+        assert_eq!(pool.len("apache"), 1);
+    }
+
+    #[test]
+    fn a_failed_canary_doubles_the_window_and_stays_quarantined() {
+        let pool = PatchPool::in_memory().with_quarantine(QuarantinePolicy {
+            quarantine_after: 1,
+            max_window: 64,
+        });
+        let site = CallSite([1, 0, 0]);
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        assert!(pool.revoke("apache", site)); // flap 1: quarantined, window 1
+
+        let worker0 = pool.for_worker(0);
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 1);
+        assert!(pool.has_canary("apache", site));
+
+        // The canary fails: the site is revoked again on worker 0.
+        assert!(pool.revoke("apache", site)); // flap 2: window 2
+        assert!(!pool.has_canary("apache", site), "failed canary cancelled");
+        assert!(pool.is_quarantined("apache", site));
+        assert_eq!(pool.flap_count("apache", site), 2);
+        assert_eq!(worker0.get("apache").len(), 0, "canary uninstalled");
+
+        // The next canary needs a doubled (2-deny) window.
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 0);
+        assert_eq!(worker0.add("apache", [patch(BugType::DanglingRead, 1)]), 1);
+        assert!(pool.has_canary("apache", site));
+    }
+
+    #[test]
+    fn quarantine_state_survives_crash_recovery() {
+        let dir = journal_dir("wal-quarantine");
+        let site = CallSite([1, 0, 0]);
+        let live = {
+            let pool = PatchPool::journaled(&dir)
+                .unwrap()
+                .with_quarantine(QuarantinePolicy {
+                    quarantine_after: 1,
+                    max_window: 64,
+                });
+            pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+            pool.revoke("apache", site);
+            let worker0 = pool.for_worker(0);
+            worker0.add("apache", [patch(BugType::DanglingRead, 1)]); // denied
+            worker0.add("apache", [patch(BugType::DanglingRead, 1)]); // canary
+            assert!(pool.has_canary("apache", site));
+            pool.export_state("apache")
+        };
+        // Recovery restores the quarantine bookkeeping and the in-flight
+        // canary byte-for-byte — even without the policy re-enabled.
+        let recovered = PatchPool::journaled(&dir).unwrap();
+        assert_eq!(recovered.export_state("apache"), live);
+        assert!(recovered.is_quarantined("apache", site));
+        assert!(recovered.has_canary("apache", site));
+        assert_eq!(recovered.flap_count("apache", site), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

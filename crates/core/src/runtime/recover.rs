@@ -177,6 +177,7 @@ impl FirstAidRuntime {
             }
         };
         self.degradation.reexec_retries += engine.retries_used();
+        self.degradation.trial_hangs += engine.trial_hangs();
         self.degradation.speculative_trials += engine.speculative_trials();
         self.degradation.parallel_waves += engine.parallel_waves();
         self.slab_reuses += engine.slab_reuses();
@@ -330,7 +331,8 @@ impl FirstAidRuntime {
                     (None, None)
                 };
 
-                self.manager.truncate_after(diagnosis.checkpoint_id);
+                let pruned = self.manager.truncate_after(diagnosis.checkpoint_id);
+                self.journal_checkpoint_prunes(&pruned);
                 self.manager.rearm(&self.process);
                 RecoveryRecord {
                     kind: RecoveryKind::Patched,

@@ -13,8 +13,10 @@ pub const FAULT_SCENARIOS: &[&str] = &[
     "checkpoint-corruption",
     "diagnosis-timeout",
     "flaky-reexec",
+    "trial-hang",
     "validation-fork",
     "pool-io",
+    "wal-io",
     "kitchen-sink",
 ];
 
@@ -41,6 +43,11 @@ pub fn fault_scenario(name: &str, seed: u64) -> Option<FaultPlan> {
         "flaky-reexec" => FaultPlan::builder(seed)
             .inject(FaultStage::ReexecFlaky, Injection::PerMille(300))
             .build(),
+        // ~25% of diagnosis trials wedge; the watchdog must reap and
+        // retry them (and escalate, never stall a wave).
+        "trial-hang" => FaultPlan::builder(seed)
+            .inject(FaultStage::TrialHang, Injection::PerMille(250))
+            .build(),
         // Every validation fork dies; patches stay installed unvalidated.
         "validation-fork" => FaultPlan::builder(seed)
             .inject(FaultStage::ValidationFork, Injection::EveryNth(1))
@@ -50,13 +57,20 @@ pub fn fault_scenario(name: &str, seed: u64) -> Option<FaultPlan> {
         "pool-io" => FaultPlan::builder(seed)
             .inject(FaultStage::PoolPersistIo, Injection::EveryNth(1))
             .build(),
+        // Every journal append errors; the Wal must retry, then degrade
+        // (journaling off, supervision continues in-memory).
+        "wal-io" => FaultPlan::builder(seed)
+            .inject(FaultStage::WalAppendIo, Injection::EveryNth(1))
+            .build(),
         // Everything at once, probabilistically.
         "kitchen-sink" => FaultPlan::builder(seed)
             .inject(FaultStage::CheckpointCorrupt, Injection::PerMille(200))
             .inject(FaultStage::ReexecFlaky, Injection::PerMille(200))
             .inject(FaultStage::DiagnosisTimeout, Injection::PerMille(150))
+            .inject(FaultStage::TrialHang, Injection::PerMille(150))
             .inject(FaultStage::ValidationFork, Injection::PerMille(300))
             .inject(FaultStage::PoolPersistIo, Injection::PerMille(500))
+            .inject(FaultStage::WalAppendIo, Injection::PerMille(200))
             .build(),
         _ => return None,
     };

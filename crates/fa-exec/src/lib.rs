@@ -22,14 +22,18 @@
 //! * [`FaError`] — typed failures, so a poisoned trial degrades instead
 //!   of aborting the supervisor.
 
+mod backoff;
 mod error;
 mod harness;
 mod slab;
 mod spec;
 mod substrate;
+mod watchdog;
 
+pub use backoff::Backoff;
 pub use error::{FaError, FaResult};
 pub use harness::{expect_ext, try_ext, ReexecOptions, ReplayHarness, RunReport, ROLLBACK_COST_NS};
 pub use slab::ProcessSlab;
 pub use spec::{TrialOutcome, TrialSpec};
 pub use substrate::{FaultGate, ManagedSubstrate, SlabSubstrate, TrialLedger, TrialSubstrate};
+pub use watchdog::Watchdog;

@@ -15,6 +15,7 @@ use fa_checkpoint::CheckpointManager;
 use fa_faults::{FaultPlan, FaultStage};
 use fa_proc::{ProcSnapshot, Process};
 
+use crate::backoff::Backoff;
 use crate::error::FaResult;
 use crate::harness::{ReplayHarness, RunReport, ROLLBACK_COST_NS};
 use crate::spec::{TrialOutcome, TrialSpec};
@@ -176,13 +177,16 @@ impl<'a> FaultGate<'a> {
     /// `Err(penalty_ns)` means retries were exhausted and the trial is
     /// lost (the caller reports it as a failed run).
     pub fn resolve(&self) -> Result<u64, u64> {
+        // Unjittered shared policy: the k-th retry costs base << k, capped
+        // at base << 16 (the pre-Backoff schedule, kept byte-identical so
+        // virtual-time-sensitive fault tests are unaffected).
+        let mut backoff = Backoff::new(self.backoff_ns, self.backoff_ns.saturating_mul(1 << 16));
         let mut penalty_ns = 0u64;
-        let mut attempt: u32 = 0;
         loop {
             if self.plan.should_fail(FaultStage::ReexecFlaky) {
-                penalty_ns += self.backoff_ns << attempt.min(16);
+                let attempt = backoff.attempts();
+                penalty_ns = penalty_ns.saturating_add(backoff.next_delay_ns());
                 if attempt < self.retries {
-                    attempt += 1;
                     self.consumed.set(self.consumed.get() + 1);
                     continue;
                 }

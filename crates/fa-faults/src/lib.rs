@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of injectable pipeline stages.
-pub const STAGES: usize = 5;
+pub const STAGES: usize = 7;
 
 /// An injectable stage of the First-Aid pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -39,6 +39,12 @@ pub enum FaultStage {
     ValidationFork,
     /// A patch-pool persistence write/rename returns an I/O error.
     PoolPersistIo,
+    /// A journal append in `fa-wal` returns an I/O error (full disk,
+    /// EIO) and must be retried or degraded around.
+    WalAppendIo,
+    /// A diagnostic trial wedges past its virtual-time deadline and has
+    /// to be reaped by the hung-trial watchdog.
+    TrialHang,
 }
 
 impl FaultStage {
@@ -49,6 +55,8 @@ impl FaultStage {
         FaultStage::DiagnosisTimeout,
         FaultStage::ValidationFork,
         FaultStage::PoolPersistIo,
+        FaultStage::WalAppendIo,
+        FaultStage::TrialHang,
     ];
 
     /// Dense index of this stage (position in [`FaultStage::ALL`]).
@@ -59,6 +67,8 @@ impl FaultStage {
             FaultStage::DiagnosisTimeout => 2,
             FaultStage::ValidationFork => 3,
             FaultStage::PoolPersistIo => 4,
+            FaultStage::WalAppendIo => 5,
+            FaultStage::TrialHang => 6,
         }
     }
 
@@ -70,6 +80,8 @@ impl FaultStage {
             FaultStage::DiagnosisTimeout => "diagnosis-timeout",
             FaultStage::ValidationFork => "validation-fork",
             FaultStage::PoolPersistIo => "pool-persist-io",
+            FaultStage::WalAppendIo => "wal-append-io",
+            FaultStage::TrialHang => "trial-hang",
         }
     }
 }
@@ -240,6 +252,104 @@ impl FaultPlanBuilder {
     }
 }
 
+/// A supervisor kill point: the journal dies after `after_appends`
+/// successful appends, optionally mid-append (leaving a torn final
+/// record on disk instead of a clean prefix).
+///
+/// `after_appends == 0, torn == false` kills the supervisor before it
+/// journals anything; `torn == true` always writes *part* of record
+/// `after_appends` before dying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Complete appends to allow before dying.
+    pub after_appends: u64,
+    /// Die mid-append, leaving a torn (checksum-invalid) final record.
+    pub torn: bool,
+}
+
+impl KillPoint {
+    /// A clean kill after `n` complete appends.
+    pub fn clean(n: u64) -> KillPoint {
+        KillPoint {
+            after_appends: n,
+            torn: false,
+        }
+    }
+
+    /// A torn kill: `n` complete appends plus a half-written record.
+    pub fn torn(n: u64) -> KillPoint {
+        KillPoint {
+            after_appends: n,
+            torn: true,
+        }
+    }
+}
+
+/// A deterministic schedule of supervisor kill points, used by the
+/// crash-safety acceptance sweep to kill a fleet between (and inside)
+/// every pair of journal appends.
+#[derive(Clone, Debug, Default)]
+pub struct KillSchedule {
+    points: Vec<KillPoint>,
+}
+
+impl KillSchedule {
+    /// Every kill point for a journal of `appends` records: a clean and
+    /// a torn kill at each boundary `0..appends`. The torn kill at
+    /// boundary `k` half-writes record `k` after `k` complete appends.
+    pub fn exhaustive(appends: u64) -> KillSchedule {
+        let mut points = Vec::with_capacity(2 * appends as usize);
+        for k in 0..appends {
+            points.push(KillPoint::clean(k));
+            points.push(KillPoint::torn(k));
+        }
+        KillSchedule { points }
+    }
+
+    /// A seeded pseudo-random sample of `count` kill points over a
+    /// journal of `appends` records (for large logs where the
+    /// exhaustive sweep would be too slow). Deterministic in `seed`.
+    pub fn sampled(seed: u64, appends: u64, count: usize) -> KillSchedule {
+        if appends == 0 {
+            return KillSchedule::default();
+        }
+        let points = (0..count as u64)
+            .map(|i| {
+                let x = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                KillPoint {
+                    after_appends: x % appends,
+                    torn: splitmix64(x) & 1 == 1,
+                }
+            })
+            .collect();
+        KillSchedule { points }
+    }
+
+    /// The kill points, in schedule order.
+    pub fn points(&self) -> &[KillPoint] {
+        &self.points
+    }
+
+    /// Number of kill points in the schedule.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the schedule contains no kill points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl IntoIterator for KillSchedule {
+    type Item = KillPoint;
+    type IntoIter = std::vec::IntoIter<KillPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +433,28 @@ mod tests {
         assert!(clone.should_fail(FaultStage::PoolPersistIo)); // k = 1: shared counter
         assert_eq!(plan.occurrences(FaultStage::PoolPersistIo), 2);
         assert_eq!(plan.fired(FaultStage::PoolPersistIo), 1);
+    }
+
+    #[test]
+    fn exhaustive_kill_schedule_covers_every_boundary_twice() {
+        let sched = KillSchedule::exhaustive(3);
+        assert_eq!(sched.len(), 6);
+        for k in 0..3 {
+            assert!(sched.points().contains(&KillPoint::clean(k)));
+            assert!(sched.points().contains(&KillPoint::torn(k)));
+        }
+        assert!(KillSchedule::exhaustive(0).is_empty());
+    }
+
+    #[test]
+    fn sampled_kill_schedule_is_seeded_and_in_range() {
+        let a = KillSchedule::sampled(9, 50, 16);
+        let b = KillSchedule::sampled(9, 50, 16);
+        assert_eq!(a.points(), b.points(), "same seed, same schedule");
+        assert!(a.points().iter().all(|p| p.after_appends < 50));
+        let c = KillSchedule::sampled(10, 50, 16);
+        assert_ne!(a.points(), c.points(), "different seed, different points");
+        assert!(KillSchedule::sampled(1, 0, 16).is_empty());
     }
 
     #[test]

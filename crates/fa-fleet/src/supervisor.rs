@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use fa_proc::{BoxedApp, Input};
-use first_aid_core::{FirstAidConfig, PatchPool};
+use fa_wal::WorkerOp;
+use first_aid_core::{FirstAidConfig, PatchPool, QuarantinePolicy, WalOp};
 
 use crate::metrics::{FleetMetrics, FleetReport, WorkerReport};
 use crate::worker::{self, WorkerParams};
@@ -89,6 +90,12 @@ pub struct FleetConfig {
     pub restart_cost_ns: u64,
     /// Crash-loop backoff tuning.
     pub backoff: BackoffConfig,
+    /// Flap quarantine for revoked call-sites: a site revoked this many
+    /// times fleet-wide is quarantined, and re-admission goes through an
+    /// exponentially-paced single-worker canary instead of a fleet-wide
+    /// re-publish. `None` keeps tombstones permanent (the plain pool
+    /// semantics).
+    pub quarantine: Option<QuarantinePolicy>,
 }
 
 impl Default for FleetConfig {
@@ -103,6 +110,7 @@ impl Default for FleetConfig {
             recovery_budget: 16,
             restart_cost_ns: 1_500_000_000,
             backoff: BackoffConfig::default(),
+            quarantine: Some(QuarantinePolicy::default()),
         }
     }
 }
@@ -153,12 +161,31 @@ impl Fleet {
         &self.config
     }
 
+    /// Recovers the shared pool from its supervision journal (crash-safe
+    /// restart of the whole fleet supervisor). Returns the number of
+    /// journal records applied; idempotent — a second call applies
+    /// nothing and returns 0. A fleet whose pool was built with
+    /// [`PatchPool::journaled`] recovers automatically at construction;
+    /// this re-entry point exists for supervisors that crash *between*
+    /// runs and re-open the same journal handle.
+    pub fn recover_from_journal(&self) -> usize {
+        self.pool.recover_from_journal()
+    }
+
     /// Runs the fleet over one input stream: spawns the workers,
     /// dispatches every input, closes the queues, joins, aggregates.
     pub fn run(&self, inputs: impl IntoIterator<Item = Input>) -> FleetReport {
         let n = self.config.workers.max(1);
+        if let Some(policy) = self.config.quarantine {
+            self.pool.enable_quarantine(policy);
+        }
+        let journaled = self.pool.journal().is_some();
         let mut handles: Vec<WorkerHandle> = (0..n)
             .map(|id| {
+                if journaled {
+                    self.pool
+                        .journal_append(WalOp::WorkerJoin(WorkerOp { worker: id as u64 }));
+                }
                 let (sender, receiver) = mpsc::sync_channel(self.config.queue_depth.max(1));
                 let backlog = Arc::new(AtomicUsize::new(0));
                 let params = WorkerParams {
@@ -166,7 +193,9 @@ impl Fleet {
                     factory: self.factory.clone(),
                     runtime: self.config.runtime.clone(),
                     pool: match self.config.sharing {
-                        PoolSharing::Shared => self.pool.clone(),
+                        // Worker-scoped clone: this worker additionally
+                        // sees canary patches admitted for it.
+                        PoolSharing::Shared => self.pool.for_worker(id as u64),
                         PoolSharing::PerWorker => PatchPool::in_memory(),
                     },
                     window_ns: self.config.window_ns,
@@ -211,11 +240,15 @@ impl Fleet {
         }
 
         let mut metrics = FleetMetrics::new();
-        for handle in handles.drain(..) {
+        for (id, handle) in handles.drain(..).enumerate() {
             let WorkerHandle { sender, thread, .. } = handle;
             drop(sender); // close the queue so the worker's recv() ends
             if let Ok(report) = thread.join() {
                 metrics.push(report);
+            }
+            if journaled {
+                self.pool
+                    .journal_append(WalOp::WorkerLeave(WorkerOp { worker: id as u64 }));
             }
         }
         let mut report = metrics.finish();

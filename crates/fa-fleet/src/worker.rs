@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
+use fa_exec::Backoff;
 use fa_proc::Input;
 use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
 
@@ -87,6 +88,15 @@ pub(crate) fn run(
     let mut wall_base = 0u64;
     let mut bytes_base = 0u64;
     let mut consecutive_failures = 0u32;
+    // Shared seeded-jitter backoff helper: the schedule is the classic
+    // exponential (base << k, capped), decorrelated across workers by
+    // the per-worker seed so crash-looping siblings do not resume in
+    // lockstep.
+    let mut crash_backoff = Backoff::seeded(
+        params.backoff.base_ns,
+        params.backoff.max_ns,
+        0xf1ee_7bac_0ff5_eed5 ^ params.id as u64,
+    );
 
     // Launching from a warm pool (earlier run, persistent dir) counts as
     // immunized from the start.
@@ -110,21 +120,23 @@ pub(crate) fn run(
             consecutive_failures += 1;
             if consecutive_failures > 1 {
                 // Crash-looping: back off exponentially before taking more
-                // traffic, so a hot bug cannot monopolize the worker.
-                let exp = (consecutive_failures - 2).min(24);
-                let pause = params
-                    .backoff
-                    .base_ns
-                    .saturating_mul(1u64 << exp)
-                    .min(params.backoff.max_ns);
+                // traffic, so a hot bug cannot monopolize the worker. The
+                // first failure in a row is free (recovery itself already
+                // cost virtual time).
+                let pause = crash_backoff.next_delay_ns();
                 wall_base += pause;
                 report.backoff_ns += pause;
             }
         } else {
             consecutive_failures = 0;
+            crash_backoff.reset();
             if buggy {
                 // A trigger that did not fail was neutralized by a patch.
                 report.patch_hits += 1;
+                // A neutralized trigger is exactly the evidence a canary
+                // re-admission is waiting for: if this worker is flying
+                // a canary for a quarantined site, promote it fleet-wide.
+                runtime.pool().confirm_canary(runtime.program());
             }
         }
         if report.immunized_at_ns.is_none() && runtime.health().patched > 0 {
@@ -148,6 +160,7 @@ pub(crate) fn run(
             report.restarts += 1;
             folded.degradation.restarts += 1;
             consecutive_failures = 0;
+            crash_backoff.reset();
         }
 
         sampler.record(

@@ -1,0 +1,248 @@
+//! The journal record vocabulary.
+//!
+//! Every supervision-state transition that used to live only in memory
+//! is one [`WalOp`]; a [`WalRecord`] is an op stamped with its journal
+//! sequence number. Ops are externally-tagged JSON enums with newtype
+//! payloads (named-field structs), so the on-disk format is
+//! self-describing: `{"PatchPublish":{"program":...,"patches":[...]}}`.
+//!
+//! Replay contract: each *epoch-bumping* op (see
+//! [`WalOp::bumps_epoch`]) advances its program's patch epoch by
+//! exactly one, mirroring the single bump the live mutation performed.
+//! Quarantine records carry their resulting counters (`flaps`,
+//! `window`, `denials`) rather than the inputs that produced them, so
+//! replay restores the exact bookkeeping without needing the policy
+//! that was active at append time.
+
+use fa_allocext::Patch;
+use fa_proc::CallSite;
+use serde::{Deserialize, Serialize};
+
+/// A patch set published (added) for a program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PublishOp {
+    /// Program executable name.
+    pub program: String,
+    /// The patches admitted by this mutation (deduplicated).
+    pub patches: Vec<Patch>,
+}
+
+/// A call-site revocation (tombstone + patch removal), with the
+/// flap-quarantine counters *after* the revoke.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RevokeOp {
+    /// Program executable name.
+    pub program: String,
+    /// The revoked call-site.
+    pub site: CallSite,
+    /// Fleet-wide revocations of this site so far (0 = quarantine
+    /// policy disabled at append time).
+    pub flaps: u32,
+    /// Denial window before the next re-admission attempt is accepted.
+    pub window: u32,
+    /// Whether the site is now quarantined (canary-only re-admission).
+    pub quarantined: bool,
+}
+
+/// A simple per-site op (patch removal, canary promote/reject target).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteOp {
+    /// Program executable name.
+    pub program: String,
+    /// The call-site concerned.
+    pub site: CallSite,
+}
+
+/// A refused re-admission attempt inside the denial window. Not an
+/// epoch bump (a refused add is not a mutation of the patch set), but
+/// journaled so recovered denial counters match the live pool exactly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenyOp {
+    /// Program executable name.
+    pub program: String,
+    /// The site whose re-admission was refused.
+    pub site: CallSite,
+    /// Denials recorded so far in the current window.
+    pub denials: u32,
+}
+
+/// A quarantined site's canary admission on a single worker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CanaryOp {
+    /// Program executable name.
+    pub program: String,
+    /// The quarantined call-site under canary.
+    pub site: CallSite,
+    /// The worker the canary is scoped to.
+    pub worker: u64,
+    /// The candidate patches, visible only to that worker until
+    /// promoted.
+    pub patches: Vec<Patch>,
+}
+
+/// A checkpoint registered or pruned by the runtime.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointOp {
+    /// Program executable name.
+    pub program: String,
+    /// Worker scope (0 for an unscoped runtime).
+    pub worker: u64,
+    /// Checkpoint id.
+    pub ckpt: u64,
+}
+
+/// A sentry sampler suppression change (synced at patch install).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SentryOp {
+    /// Program executable name.
+    pub program: String,
+    /// Precisely-patched sites withdrawn from sentry sampling.
+    pub sites: Vec<CallSite>,
+    /// Whether a generic patch suppressed sampling entirely.
+    pub all: bool,
+}
+
+/// A degradation-ladder descent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LadderOp {
+    /// Program executable name.
+    pub program: String,
+    /// The rung descended to ("generic", "dropped", "restart").
+    pub rung: String,
+    /// The bug signature that drove the descent.
+    pub signature: String,
+}
+
+/// Fleet worker membership change.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerOp {
+    /// Worker index within the fleet.
+    pub worker: u64,
+}
+
+/// Quarantine bookkeeping for one site, as carried by snapshots.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The tracked call-site.
+    pub site: CallSite,
+    /// Fleet-wide revocations of this site.
+    pub flaps: u32,
+    /// Current denial window (doubles per flap).
+    pub window: u32,
+    /// Denials recorded in the current window.
+    pub denials: u32,
+    /// Whether the site is quarantined.
+    pub quarantined: bool,
+    /// Canary worker, if a canary is in flight.
+    pub canary_worker: Option<u64>,
+    /// The canary's candidate patches.
+    pub canary_patches: Vec<Patch>,
+}
+
+/// One program's full pool state, as carried by snapshots.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgramSnapshot {
+    /// Program executable name.
+    pub program: String,
+    /// Patch epoch at snapshot time.
+    pub epoch: u64,
+    /// Published patches.
+    pub patches: Vec<Patch>,
+    /// Tombstoned call-sites.
+    pub revoked: Vec<CallSite>,
+    /// Quarantine bookkeeping, sorted by site.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+/// A compaction snapshot: the entire pool state at one journal
+/// sequence point. Replay of a snapshot replaces all prior state; any
+/// records after it apply incrementally. (`Vec`-based rather than
+/// map-based so it round-trips through the vendored serde derive.)
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    /// Per-program state, sorted by program name.
+    pub programs: Vec<ProgramSnapshot>,
+}
+
+/// One journaled supervision-state transition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalOp {
+    /// Patches published for a program (epoch bump).
+    PatchPublish(PublishOp),
+    /// A call-site revoked: tombstone + removal (epoch bump).
+    PatchRevoke(RevokeOp),
+    /// A site's patches removed without tombstoning (epoch bump).
+    PatchRemove(SiteOp),
+    /// A re-admission attempt refused inside the denial window.
+    SiteDenied(DenyOp),
+    /// A quarantined site admitted a canary on one worker (epoch bump —
+    /// the canary worker's view changes).
+    CanaryAdmit(CanaryOp),
+    /// A canary validated: its patches published fleet-wide, tombstone
+    /// cleared (epoch bump).
+    CanaryPromote(SiteOp),
+    /// A canary revoked before validation; the denial window doubles.
+    CanaryReject(SiteOp),
+    /// A checkpoint registered by the runtime.
+    CheckpointRegister(CheckpointOp),
+    /// A checkpoint pruned (rollback truncated the ring past it).
+    CheckpointPrune(CheckpointOp),
+    /// Sentry sampler suppressions synced after a patch install.
+    SentrySuppress(SentryOp),
+    /// A degradation-ladder descent.
+    LadderDescend(LadderOp),
+    /// A fleet worker joined.
+    WorkerJoin(WorkerOp),
+    /// A fleet worker left (clean shutdown or fold).
+    WorkerLeave(WorkerOp),
+    /// A compaction snapshot of the entire pool state.
+    Snapshot(PoolSnapshot),
+}
+
+impl WalOp {
+    /// Whether replaying this op advances the program's patch epoch by
+    /// one (the live mutation bumped it exactly once when journaling).
+    pub fn bumps_epoch(&self) -> bool {
+        matches!(
+            self,
+            WalOp::PatchPublish(_)
+                | WalOp::PatchRevoke(_)
+                | WalOp::PatchRemove(_)
+                | WalOp::CanaryAdmit(_)
+                | WalOp::CanaryPromote(_)
+        )
+    }
+
+    /// Stable label for logs and debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WalOp::PatchPublish(_) => "patch-publish",
+            WalOp::PatchRevoke(_) => "patch-revoke",
+            WalOp::PatchRemove(_) => "patch-remove",
+            WalOp::SiteDenied(_) => "site-denied",
+            WalOp::CanaryAdmit(_) => "canary-admit",
+            WalOp::CanaryPromote(_) => "canary-promote",
+            WalOp::CanaryReject(_) => "canary-reject",
+            WalOp::CheckpointRegister(_) => "checkpoint-register",
+            WalOp::CheckpointPrune(_) => "checkpoint-prune",
+            WalOp::SentrySuppress(_) => "sentry-suppress",
+            WalOp::LadderDescend(_) => "ladder-descend",
+            WalOp::WorkerJoin(_) => "worker-join",
+            WalOp::WorkerLeave(_) => "worker-leave",
+            WalOp::Snapshot(_) => "snapshot",
+        }
+    }
+}
+
+/// A journal record: an op stamped with its sequence number.
+///
+/// Sequence numbers are strictly increasing within a journal; replay
+/// stops at the first gap, checksum mismatch, or non-monotone record
+/// (whichever comes first), which is what makes recovery prefix-closed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Strictly-increasing journal sequence number (1-based).
+    pub seq: u64,
+    /// The journaled transition.
+    pub op: WalOp,
+}

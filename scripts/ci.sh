@@ -25,3 +25,9 @@ cargo run --release --offline -p fa-bench --bin perf -- --check
 # organic crash point; the sweep is virtual-clock-deterministic, so the
 # comparison against results/sentry.json is exact.
 cargo run --release --offline -p fa-bench --bin sentry -- --check
+
+# Crash-safety gate: a killed supervisor must recover its journaled
+# state in under 5% of a cold fleet start, lose zero patch epochs,
+# re-converge byte-identically, and stay immunized. (The per-kill-point
+# acceptance sweep runs in the root test suite: crash_supervision.rs.)
+cargo run --release --offline -p fa-bench --bin crash -- --check
