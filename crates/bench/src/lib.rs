@@ -18,6 +18,7 @@
 //! | [`faults`] | Fault injection — pipeline-stage failures and the degradation ladder |
 //! | [`perf`]   | Wall-clock performance + parallel-diagnosis speedup regression gate |
 //! | [`crash`]  | Crash-safe supervision — journal recovery cost vs a cold fleet start |
+//! | [`fleet_scale`] | 10²–10⁵ workers — lock-free patch plane, gossip propagation gates |
 
 pub mod ablation;
 pub mod crash;
@@ -26,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fleet;
+pub mod fleet_scale;
 pub mod perf;
 pub mod sentry;
 pub mod table2;

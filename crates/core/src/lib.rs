@@ -72,7 +72,9 @@ pub use diagnose::{
 };
 pub use harness::{ReexecOptions, ReplayHarness, RunReport};
 pub use metrics::{DegradationMetrics, ThroughputSampler};
-pub use patchpool::{PatchPool, QuarantinePolicy};
+pub use patchpool::{
+    EventCursor, EventPoll, PatchPool, PoolEvent, PoolEventKind, PoolEvents, QuarantinePolicy,
+};
 pub use report::BugReport;
 pub use runtime::{
     FeedOutcome, FirstAidConfig, FirstAidRuntime, RecoveryKind, RecoveryRecord, RunSummary,

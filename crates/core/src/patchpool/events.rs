@@ -1,0 +1,214 @@
+//! Epoch-stamped pool events: the fleet's "anything new?" fan-out.
+//!
+//! Before this queue existed, every fleet worker polled the pool's
+//! global version atomic once per input and, on any movement, re-read
+//! its program's patch set — even when the movement belonged to a
+//! different program. The event log makes the fan-out precise: each
+//! effective pool mutation appends one [`PoolEvent`] carrying the
+//! program and its post-mutation epoch, and a subscriber decides from
+//! the events alone whether *its* program moved.
+//!
+//! The quiet path stays one atomic load ([`PoolEvents::poll`] compares
+//! `head` against the cursor and returns [`EventPoll::Quiet`] without
+//! touching the ring lock). Only when the head moved does the
+//! subscriber take the ring lock to drain its window. The ring is
+//! bounded; a subscriber that fell more than a ring's worth behind
+//! gets [`EventPoll::Lagged`] and must do one full refresh — the same
+//! degradation the old version-polling protocol lived in permanently.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Events kept before the oldest is dropped and laggards must refresh.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// What kind of pool mutation an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolEventKind {
+    /// New patches published fleet-wide.
+    Publish,
+    /// A call-site's patches revoked (tombstoned).
+    Revoke,
+    /// Patches removed at a site (validation failure).
+    Remove,
+    /// A canary admitted for one worker.
+    CanaryAdmit,
+    /// A canary validated and promoted fleet-wide.
+    CanaryPromote,
+    /// A sentry suppression recorded in the journal (no epoch bump;
+    /// informational for fleet observers).
+    Suppress,
+    /// Journal recovery replayed state for this program.
+    Recovered,
+}
+
+/// One pool mutation, as seen by subscribers.
+#[derive(Clone, Debug)]
+pub struct PoolEvent {
+    /// Position in the event log (strictly increasing).
+    pub seq: u64,
+    /// The program whose pool state moved.
+    pub program: String,
+    /// The program's epoch after the mutation.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: PoolEventKind,
+}
+
+/// A subscriber's read position in the event log.
+#[derive(Clone, Copy, Debug)]
+pub struct EventCursor {
+    /// Sequence number of the next event this cursor has not seen.
+    next: u64,
+}
+
+/// Outcome of one [`PoolEvents::poll`].
+#[derive(Debug)]
+pub enum EventPoll {
+    /// Nothing happened since the last poll (one atomic load).
+    Quiet,
+    /// The events since the last poll, oldest first.
+    Events(Vec<PoolEvent>),
+    /// The subscriber fell behind the ring: events were dropped, and it
+    /// must treat every program as potentially moved (full refresh).
+    Lagged,
+}
+
+/// The bounded, multi-subscriber pool event log.
+///
+/// Writers (the pool's mutators, already serialized by the pool mutex)
+/// append under the ring lock and then advance `head` with a `Release`
+/// store; the subscriber's `Acquire` load of `head` therefore also
+/// observes the plane snapshot published just before the event — an
+/// event can never be seen ahead of the state it announces.
+pub struct PoolEvents {
+    head: AtomicU64,
+    ring: Mutex<VecDeque<PoolEvent>>,
+    capacity: usize,
+}
+
+impl Default for PoolEvents {
+    fn default() -> Self {
+        PoolEvents::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl PoolEvents {
+    /// An event log keeping at most `capacity` undrained events.
+    pub fn with_capacity(capacity: usize) -> PoolEvents {
+        PoolEvents {
+            head: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A cursor positioned at "now": it will see only events appended
+    /// after this call.
+    pub fn subscribe(&self) -> EventCursor {
+        EventCursor {
+            next: self.head.load(Ordering::Acquire),
+        }
+    }
+
+    /// Total events ever appended.
+    pub fn appended(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends one event. Called by the pool with its writer mutex
+    /// held, after the matching plane publish.
+    pub(super) fn emit(&self, program: &str, epoch: u64, kind: PoolEventKind) {
+        let mut ring = self.ring.lock();
+        // Only lock-holding writers advance head, so Relaxed suffices
+        // for the read; the mutex orders writer against writer.
+        let seq = self.head.load(Ordering::Relaxed);
+        ring.push_back(PoolEvent {
+            seq,
+            program: program.to_owned(),
+            epoch,
+            kind,
+        });
+        while ring.len() > self.capacity {
+            ring.pop_front();
+        }
+        // Release pairs with the Acquire in `poll`/`subscribe`.
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Drains everything the cursor has not seen. The quiet path is one
+    /// atomic load and no lock.
+    pub fn poll(&self, cursor: &mut EventCursor) -> EventPoll {
+        let head = self.head.load(Ordering::Acquire);
+        if head == cursor.next {
+            return EventPoll::Quiet;
+        }
+        let ring = self.ring.lock();
+        let oldest = ring.front().map_or(head, |e| e.seq);
+        if cursor.next < oldest {
+            cursor.next = head;
+            return EventPoll::Lagged;
+        }
+        let events: Vec<PoolEvent> = ring
+            .iter()
+            .filter(|e| e.seq >= cursor.next)
+            .cloned()
+            .collect();
+        cursor.next = head;
+        EventPoll::Events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_until_something_happens_then_precise_events() {
+        let log = PoolEvents::default();
+        let mut cursor = log.subscribe();
+        assert!(matches!(log.poll(&mut cursor), EventPoll::Quiet));
+
+        log.emit("apache", 1, PoolEventKind::Publish);
+        log.emit("squid", 1, PoolEventKind::Publish);
+        log.emit("apache", 2, PoolEventKind::Revoke);
+
+        let EventPoll::Events(events) = log.poll(&mut cursor) else {
+            panic!("expected events");
+        };
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[0].program, "apache");
+        assert_eq!(events[2].kind, PoolEventKind::Revoke);
+        assert_eq!(events[2].epoch, 2);
+        assert!(matches!(log.poll(&mut cursor), EventPoll::Quiet));
+    }
+
+    #[test]
+    fn a_subscriber_behind_the_ring_is_told_to_refresh() {
+        let log = PoolEvents::with_capacity(4);
+        let mut cursor = log.subscribe();
+        for epoch in 1..=9 {
+            log.emit("m4", epoch, PoolEventKind::Publish);
+        }
+        assert!(matches!(log.poll(&mut cursor), EventPoll::Lagged));
+        // After the forced refresh the cursor is current again.
+        assert!(matches!(log.poll(&mut cursor), EventPoll::Quiet));
+        log.emit("m4", 10, PoolEventKind::Publish);
+        let EventPoll::Events(events) = log.poll(&mut cursor) else {
+            panic!("expected events");
+        };
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn late_subscribers_skip_history() {
+        let log = PoolEvents::default();
+        log.emit("pine", 1, PoolEventKind::Publish);
+        let mut cursor = log.subscribe();
+        assert!(matches!(log.poll(&mut cursor), EventPoll::Quiet));
+        assert_eq!(log.appended(), 1);
+    }
+}

@@ -7,11 +7,25 @@
 //! per program executable so subsequent runs and *other processes of the
 //! same program* start protected.
 //!
-//! For fleet operation the pool carries a cheap change signal: a global
-//! atomic [`PatchPool::version`] plus a per-program [`PatchPool::epoch`],
-//! both bumped on every effective mutation. Idle workers poll the atomic
-//! (one relaxed load per input) and re-read their program's patch set
-//! only when it moved — no re-launch, no broadcast channel.
+//! The pool is split into two planes:
+//!
+//! * **Writer plane** (this module): every mutation — publish, revoke,
+//!   canary traffic, journal replay — runs under one mutex, where the
+//!   quarantine gate, tombstones and journaling live. Before releasing
+//!   the mutex the writer rebuilds the affected program's snapshot and
+//!   publishes it to the read plane with one atomic pointer swap.
+//! * **Read plane** ([`plane`]): the allocation fast path. [`PatchPool::get`]
+//!   is one `Acquire` pointer load, one hash lookup and one `Arc`
+//!   clone — zero locks, zero `PatchSet` clones, and pointer-stable
+//!   across same-epoch reads. The pre-RCU locked read survives as
+//!   [`PatchPool::get_locked`], the benchmark baseline and stress-test
+//!   oracle.
+//!
+//! For fleet operation the pool carries two change signals: the cheap
+//! global [`PatchPool::version`] / per-program [`PatchPool::epoch`]
+//! counters, and an epoch-stamped event log ([`PatchPool::events`])
+//! that tells subscribers *which* program moved, so a worker refreshes
+//! only on events for its own program instead of on any pool movement.
 //!
 //! Two crash-safety layers sit underneath:
 //!
@@ -43,6 +57,12 @@ use fa_wal::{
 };
 
 use crate::log;
+
+mod events;
+mod plane;
+
+pub use events::{EventCursor, EventPoll, PoolEvent, PoolEventKind, PoolEvents};
+use plane::{PlaneEntry, ReadPlane};
 
 /// Persistence attempts before the pool gives up and goes in-memory.
 const PERSIST_ATTEMPTS: u32 = 3;
@@ -145,6 +165,12 @@ impl Pools {
 #[derive(Clone)]
 pub struct PatchPool {
     inner: Arc<Mutex<Pools>>,
+    /// Lock-free read side: the published snapshot directory served to
+    /// the allocation fast path. Rebuilt (for the affected program) and
+    /// swapped under `inner`'s mutex on every effective mutation.
+    plane: Arc<ReadPlane>,
+    /// Epoch-stamped mutation events for fleet subscribers.
+    events: Arc<PoolEvents>,
     /// Bumped on every effective `add`/`remove_site`/`revoke`, across
     /// all programs.
     version: Arc<AtomicU64>,
@@ -172,6 +198,8 @@ impl PatchPool {
     pub fn in_memory() -> PatchPool {
         PatchPool {
             inner: Arc::new(Mutex::new(Pools::default())),
+            plane: Arc::new(ReadPlane::new()),
+            events: Arc::new(PoolEvents::default()),
             version: Arc::new(AtomicU64::new(0)),
             io_lock: Arc::new(Mutex::new(())),
             dir: None,
@@ -232,11 +260,15 @@ impl PatchPool {
                 ));
             }
         }
-        Ok(PatchPool {
+        let pool = PatchPool {
             inner: Arc::new(Mutex::new(pools)),
             dir: Some(dir),
             ..PatchPool::in_memory()
-        })
+        };
+        // The loaded state predates the plane: publish it before any
+        // reader can look.
+        pool.republish_all(&pool.inner.lock());
+        Ok(pool)
     }
 
     /// Creates a crash-safe pool journaled to `dir/pool.wal`, replaying
@@ -306,7 +338,18 @@ impl PatchPool {
             return;
         }
         let mut pools = self.inner.lock();
+        // Suppression syncs do not bump epochs (they are runtime
+        // records, not pool state), but fleet observers still want to
+        // see them flow past.
+        let suppressed = match &op {
+            WalOp::SentrySuppress(s) => Some(s.program.clone()),
+            _ => None,
+        };
         self.journal_ops(&mut pools, vec![op]);
+        if let Some(program) = suppressed {
+            let epoch = pools.epoch_by_program.get(&program).copied().unwrap_or(0);
+            self.events.emit(&program, epoch, PoolEventKind::Suppress);
+        }
     }
 
     /// Replays the journal into the pool. Records at or below the
@@ -325,6 +368,19 @@ impl PatchPool {
                 if record.op.bumps_epoch() || matches!(record.op, WalOp::Snapshot(_)) {
                     bumps += 1;
                 }
+            }
+        }
+        if applied > 0 {
+            // Replay bypassed the per-mutation publishes: rebuild the
+            // whole plane once and announce each recovered program.
+            self.republish_all(&pools);
+            let programs: Vec<(String, u64)> = pools
+                .epoch_by_program
+                .iter()
+                .map(|(p, e)| (p.clone(), *e))
+                .collect();
+            for (program, epoch) in programs {
+                self.events.emit(&program, epoch, PoolEventKind::Recovered);
             }
         }
         drop(pools);
@@ -369,48 +425,135 @@ impl PatchPool {
         PatchSet::from_patches(patches)
     }
 
-    /// Returns the patch set for a program (empty if none). A
-    /// worker-scoped clone also sees its own canaries.
-    pub fn get(&self, program: &str) -> PatchSet {
+    /// Builds one program's publishable plane entry from the writer
+    /// state: epoch, fleet set, and merged base+canary overlays for
+    /// each worker with an in-flight canary (merged at publish time so
+    /// scoped readers stay zero-cost).
+    fn rebuild_entry(pools: &Pools, program: &str) -> PlaneEntry {
+        let base: Vec<Patch> = pools.by_program.get(program).cloned().unwrap_or_default();
+        let mut scoped: HashMap<u64, Arc<PatchSet>> = HashMap::new();
+        if let Some(sites) = pools.quarantine_by_program.get(program) {
+            let mut per_worker: HashMap<u64, Vec<Patch>> = HashMap::new();
+            for st in sites.values() {
+                if let Some((w, canary)) = &st.canary {
+                    per_worker
+                        .entry(*w)
+                        .or_default()
+                        .extend(canary.iter().cloned());
+                }
+            }
+            for (worker, canaries) in per_worker {
+                let mut merged = base.clone();
+                merged.extend(canaries);
+                scoped.insert(worker, Arc::new(PatchSet::from_patches(merged)));
+            }
+        }
+        PlaneEntry {
+            epoch: pools.epoch_by_program.get(program).copied().unwrap_or(0),
+            set: Arc::new(PatchSet::from_patches(base)),
+            scoped,
+        }
+    }
+
+    /// Publishes `program`'s current state to the read plane. Called
+    /// with the pool mutex held, after journaling and before the
+    /// version bump, so journal order, publication order and version
+    /// movement always agree.
+    fn publish_program(&self, pools: &Pools, program: &str) {
+        let entry = Self::rebuild_entry(pools, program);
+        self.plane.publish(|dir| {
+            dir.insert(program.to_owned(), entry);
+        });
+    }
+
+    /// Rebuilds the whole plane from the writer state (initial load,
+    /// journal replay). Called with the pool mutex held.
+    fn republish_all(&self, pools: &Pools) {
+        let mut programs: Vec<&String> = pools
+            .by_program
+            .keys()
+            .chain(pools.epoch_by_program.keys())
+            .chain(pools.revoked_by_program.keys())
+            .chain(pools.quarantine_by_program.keys())
+            .collect();
+        programs.sort();
+        programs.dedup();
+        let mut entries: Vec<(String, PlaneEntry)> = programs
+            .into_iter()
+            .map(|p| (p.clone(), Self::rebuild_entry(pools, p)))
+            .collect();
+        self.plane.publish(|dir| {
+            dir.clear();
+            for (program, entry) in entries.drain(..) {
+                dir.insert(program, entry);
+            }
+        });
+    }
+
+    /// Returns the published patch set for a program (shared empty set
+    /// if none). A worker-scoped clone also sees its own canaries.
+    ///
+    /// This is the allocation fast path: one `Acquire` pointer load,
+    /// one hash lookup, one `Arc` clone. No locks, no `PatchSet`
+    /// construction — repeated same-epoch calls return the identical
+    /// `Arc` (pointer-equal).
+    pub fn get(&self, program: &str) -> Arc<PatchSet> {
+        self.plane.get(program, self.scope).0
+    }
+
+    /// Returns the published patch set and its epoch in one atomic
+    /// snapshot read, so a reader can never observe a set newer than
+    /// its epoch. Lock-free, like [`PatchPool::get`].
+    pub fn get_with_epoch(&self, program: &str) -> (Arc<PatchSet>, u64) {
+        self.plane.get(program, self.scope)
+    }
+
+    /// The pre-RCU read path: take the pool mutex, build a fresh
+    /// `PatchSet` from the writer-side state. Kept as the benchmark
+    /// baseline (`fleet_scale` measures it against [`PatchPool::get`])
+    /// and as the stress-test oracle the lock-free plane is checked
+    /// against — the two must always agree.
+    pub fn get_locked(&self, program: &str) -> PatchSet {
         let pools = self.inner.lock();
         self.set_for(&pools, program)
     }
 
-    /// Returns the patch set and epoch for a program in one lock hold,
-    /// so a reader can never observe a set newer than its epoch.
-    pub fn get_with_epoch(&self, program: &str) -> (PatchSet, u64) {
+    /// Locked read of the set and epoch in one mutex hold; oracle
+    /// counterpart of [`PatchPool::get_with_epoch`].
+    pub fn get_locked_with_epoch(&self, program: &str) -> (PatchSet, u64) {
         let pools = self.inner.lock();
         let set = self.set_for(&pools, program);
         let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
         (set, epoch)
     }
 
+    /// The pool's event log: epoch-stamped mutation events for fleet
+    /// subscribers ([`PoolEvents::subscribe`] / [`PoolEvents::poll`]).
+    pub fn events(&self) -> &PoolEvents {
+        &self.events
+    }
+
     /// Returns the global mutation counter (any program).
     ///
-    /// One relaxed atomic load — cheap enough to poll per input from
-    /// every fleet worker.
+    /// One `Acquire` atomic load — cheap enough to poll per input from
+    /// every fleet worker. The load pairs with the writer's `AcqRel`
+    /// `fetch_add`, which happens *after* the plane swap: a reader that
+    /// observes a new version is guaranteed to find the matching (or a
+    /// newer) snapshot already published on its next [`PatchPool::get`].
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
-    /// Returns the per-program mutation counter.
+    /// Returns the per-program mutation counter (lock-free, from the
+    /// published plane).
     pub fn epoch(&self, program: &str) -> u64 {
-        self.inner
-            .lock()
-            .epoch_by_program
-            .get(program)
-            .copied()
-            .unwrap_or(0)
+        self.plane.epoch(program)
     }
 
     /// Returns the number of patches stored for a program (canaries
-    /// excluded — they are not fleet state yet).
+    /// excluded — they are not fleet state yet). Lock-free.
     pub fn len(&self, program: &str) -> usize {
-        self.inner
-            .lock()
-            .by_program
-            .get(program)
-            .map_or(0, Vec::len)
+        self.plane.len(program)
     }
 
     /// Returns `true` if no patches are stored for the program.
@@ -547,6 +690,20 @@ impl PatchPool {
         }
         let added = published.len() + canaried;
         self.journal_ops(&mut pools, ops);
+        if bumps > 0 {
+            // Journal, then plane, then events — all under the mutex —
+            // then version: readers can never observe state the journal
+            // does not yet hold, and an event is never visible before
+            // the snapshot it announces.
+            self.publish_program(&pools, program);
+            let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
+            if canaried > 0 {
+                self.events.emit(program, epoch, PoolEventKind::CanaryAdmit);
+            }
+            if !published.is_empty() {
+                self.events.emit(program, epoch, PoolEventKind::Publish);
+            }
+        }
         drop(pools);
         if bumps > 0 {
             self.version.fetch_add(bumps, Ordering::AcqRel);
@@ -626,6 +783,9 @@ impl PatchPool {
         }));
         pools.bump_epoch(program);
         self.journal_ops(&mut pools, ops);
+        self.publish_program(&pools, program);
+        let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
+        self.events.emit(program, epoch, PoolEventKind::Revoke);
         drop(pools);
         self.version.fetch_add(1, Ordering::AcqRel);
         self.persist(program);
@@ -691,6 +851,12 @@ impl PatchPool {
             }));
         }
         self.journal_ops(&mut pools, ops);
+        if bumps > 0 {
+            self.publish_program(&pools, program);
+            let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
+            self.events
+                .emit(program, epoch, PoolEventKind::CanaryPromote);
+        }
         drop(pools);
         if bumps > 0 {
             self.version.fetch_add(bumps, Ordering::AcqRel);
@@ -764,6 +930,9 @@ impl PatchPool {
             site,
         })];
         self.journal_ops(&mut pools, ops);
+        self.publish_program(&pools, program);
+        let epoch = pools.epoch_by_program.get(program).copied().unwrap_or(0);
+        self.events.emit(program, epoch, PoolEventKind::Remove);
         drop(pools);
         self.version.fetch_add(1, Ordering::AcqRel);
         self.persist(program);
@@ -1591,5 +1760,67 @@ mod tests {
         assert!(recovered.has_canary("apache", site));
         assert_eq!(recovered.flap_count("apache", site), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_epoch_gets_are_pointer_equal_and_allocation_free() {
+        // The hot-path churn regression: before the RCU plane, every
+        // `get` cloned the full `PatchSet` under the pool mutex. Now a
+        // repeated same-epoch query must hand back the *identical* Arc
+        // — pointer equality is the proof that no set was rebuilt and
+        // nothing was allocated on the read path.
+        let pool = PatchPool::in_memory();
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+
+        let a = pool.get("apache");
+        let b = pool.get("apache");
+        assert!(Arc::ptr_eq(&a, &b), "same epoch, same snapshot Arc");
+        let (c, e1) = pool.get_with_epoch("apache");
+        assert!(Arc::ptr_eq(&a, &c));
+
+        // Misses share one static empty set: even unknown programs
+        // allocate nothing.
+        assert!(Arc::ptr_eq(&pool.get("nope"), &pool.get("also-nope")));
+
+        // A mutation of a *different* program leaves this one's Arc
+        // untouched; a mutation of the same program replaces it.
+        pool.add("squid", [patch(BugType::BufferOverflow, 2)]);
+        assert!(Arc::ptr_eq(&a, &pool.get("apache")));
+        pool.add("apache", [patch(BugType::BufferOverflow, 3)]);
+        let (d, e2) = pool.get_with_epoch("apache");
+        assert!(!Arc::ptr_eq(&a, &d), "new epoch, new snapshot");
+        assert_eq!(e2, e1 + 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lock_free_reads_agree_with_the_locked_oracle() {
+        let pool = PatchPool::in_memory().with_quarantine(QuarantinePolicy {
+            quarantine_after: 1,
+            max_window: 64,
+        });
+        pool.add("apache", [patch(BugType::DanglingRead, 1)]);
+        pool.add("apache", [patch(BugType::BufferOverflow, 2)]);
+        pool.revoke("apache", CallSite([1, 0, 0]));
+        let worker0 = pool.for_worker(0);
+        worker0.add("apache", [patch(BugType::DanglingRead, 1)]); // denied
+        worker0.add("apache", [patch(BugType::DanglingRead, 1)]); // canary
+
+        for view in [&pool, &worker0] {
+            let (fast, fast_epoch) = view.get_with_epoch("apache");
+            let (locked, locked_epoch) = view.get_locked_with_epoch("apache");
+            assert_eq!(fast_epoch, locked_epoch);
+            assert_eq!(fast.len(), locked.len());
+            assert_eq!(fast.patches(), locked.patches());
+        }
+        // The scoped view sees its canary through the plane overlay.
+        assert!(worker0
+            .get("apache")
+            .match_dealloc(CallSite([1, 0, 0]))
+            .is_some());
+        assert!(pool
+            .get("apache")
+            .match_dealloc(CallSite([1, 0, 0]))
+            .is_none());
     }
 }

@@ -1,0 +1,228 @@
+//! The lock-free read plane: RCU-style published pool snapshots.
+//!
+//! The pool's writer side (mutations, journaling, quarantine
+//! bookkeeping) stays behind its mutex; this module is the *reader*
+//! side. After every effective mutation the writer rebuilds the
+//! affected program's [`PlaneEntry`] and publishes a new snapshot
+//! directory with a single atomic pointer swap. Readers — one per
+//! allocation on the supervised fast path — do one `Acquire` pointer
+//! load, one hash lookup, and one `Arc` clone: no locks, no `PatchSet`
+//! construction, no allocation.
+//!
+//! # Reclamation
+//!
+//! A hand-rolled arc-swap needs a grace period: a reader may hold a
+//! directory pointer it just loaded while a writer swaps in the next
+//! one. Instead of hazard pointers or epoch counters we *retire*
+//! superseded directories into a keep-alive list owned by the plane,
+//! freeing them only when the plane itself drops. That trades a little
+//! memory for zero read-side bookkeeping, and is bounded in practice:
+//! directories are published only on effective pool mutations (patch
+//! publish / revoke / canary traffic), which are rare and finite —
+//! the paper's model is a handful of patches per program per
+//! deployment, not a mutation stream. A directory is a map of
+//! `Arc` handles, not patch data, so each retired snapshot costs
+//! O(programs) pointers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fa_allocext::PatchSet;
+
+/// One program's published view: its epoch, the fleet-wide patch set,
+/// and per-worker canary overlays (base set + canary patches, merged
+/// at publish time so scoped readers stay zero-cost too).
+#[derive(Clone)]
+pub(super) struct PlaneEntry {
+    pub epoch: u64,
+    pub set: Arc<PatchSet>,
+    /// Worker id -> merged (fleet + canary) set, for workers with an
+    /// in-flight canary. Empty for almost every publish.
+    pub scoped: HashMap<u64, Arc<PatchSet>>,
+}
+
+/// A published snapshot directory: program name -> entry.
+type Dir = HashMap<String, PlaneEntry>;
+
+/// The atomic publication point between the pool's writer side and its
+/// lock-free readers.
+pub(super) struct ReadPlane {
+    /// The current directory. Readers `Acquire`-load it; the writer
+    /// (serialized by the pool mutex) publishes with a `Release` swap,
+    /// so a reader that sees the new pointer sees the fully-built
+    /// directory behind it.
+    cur: AtomicPtr<Dir>,
+    /// Superseded directories, kept alive until the plane drops so a
+    /// concurrent reader's loaded pointer can never dangle. The `Box`
+    /// is load-bearing despite the lint: a reader may still hold `&Dir`
+    /// into the retired allocation, so it must stay at its address —
+    /// `Vec<Dir>` would move it.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Dir>>>,
+    /// Shared empty set handed to readers of unknown programs, so even
+    /// the miss path allocates nothing.
+    empty: Arc<PatchSet>,
+}
+
+impl ReadPlane {
+    pub fn new() -> ReadPlane {
+        ReadPlane {
+            cur: AtomicPtr::new(Box::into_raw(Box::new(Dir::new()))),
+            retired: Mutex::new(Vec::new()),
+            empty: Arc::new(PatchSet::new()),
+        }
+    }
+
+    /// The current directory.
+    ///
+    /// Safety of the borrow: `cur` only ever points at a directory that
+    /// is either current or retired, and retired directories live until
+    /// the plane drops; the returned borrow cannot outlive `&self`.
+    fn dir(&self) -> &Dir {
+        // Acquire pairs with the Release swap in `publish`: observing
+        // the new pointer implies observing the directory it points at.
+        unsafe { &*self.cur.load(Ordering::Acquire) }
+    }
+
+    /// Lock-free read of one program's published set, honoring a worker
+    /// scope (canary overlay) when one is present for that worker.
+    pub fn get(&self, program: &str, scope: Option<u64>) -> (Arc<PatchSet>, u64) {
+        match self.dir().get(program) {
+            Some(entry) => {
+                let set = scope
+                    .and_then(|w| entry.scoped.get(&w))
+                    .unwrap_or(&entry.set);
+                (Arc::clone(set), entry.epoch)
+            }
+            None => (Arc::clone(&self.empty), 0),
+        }
+    }
+
+    /// Lock-free epoch read (0 for unknown programs).
+    pub fn epoch(&self, program: &str) -> u64 {
+        self.dir().get(program).map_or(0, |e| e.epoch)
+    }
+
+    /// Lock-free fleet-set length (canary overlays excluded: they are
+    /// not fleet state yet).
+    pub fn len(&self, program: &str) -> usize {
+        self.dir().get(program).map_or(0, |e| e.set.len())
+    }
+
+    /// Publishes the next directory. Must be called with the pool's
+    /// writer mutex held (publishes are serialized); `rebuild` edits a
+    /// clone of the current directory, which then replaces it in one
+    /// swap. Entries the rebuild does not touch keep their `Arc`s, so
+    /// unchanged programs stay pointer-stable across foreign publishes.
+    pub fn publish(&self, rebuild: impl FnOnce(&mut Dir)) {
+        // Relaxed is enough here: only the lock-holding writer mutates
+        // `cur`, so this load is ordered by the mutex, not the atomic.
+        let old = self.cur.load(Ordering::Relaxed);
+        let mut next = unsafe { (*old).clone() };
+        rebuild(&mut next);
+        let next = Box::into_raw(Box::new(next));
+        // Release pairs with the Acquire in `dir()`.
+        let prev = self.cur.swap(next, Ordering::Release);
+        self.retired.lock().push(unsafe { Box::from_raw(prev) });
+    }
+
+    /// Superseded directories currently kept alive (test hook: bounded
+    /// by the number of effective mutations, not by reads).
+    #[cfg(test)]
+    pub fn retired_count(&self) -> usize {
+        self.retired.lock().len()
+    }
+}
+
+impl Drop for ReadPlane {
+    fn drop(&mut self) {
+        // `&mut self`: no readers can exist anymore, so the current
+        // directory and every retired one can finally be freed.
+        let cur = *self.cur.get_mut();
+        drop(unsafe { Box::from_raw(cur) });
+    }
+}
+
+// The raw pointer is only dereferenced under the documented protocol;
+// the plane is shared across worker threads exactly like an Arc.
+unsafe impl Send for ReadPlane {}
+unsafe impl Sync for ReadPlane {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_allocext::{BugType, Patch};
+    use fa_proc::{CallSite, SymbolTable};
+
+    fn entry(epoch: u64, ids: &[u64]) -> PlaneEntry {
+        let patches = ids.iter().map(|&id| {
+            Patch::new(
+                BugType::BufferOverflow,
+                CallSite([id, 0, 0]),
+                &SymbolTable::new(),
+            )
+        });
+        PlaneEntry {
+            epoch,
+            set: Arc::new(PatchSet::from_patches(patches)),
+            scoped: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn unknown_program_reads_the_shared_empty_set() {
+        let plane = ReadPlane::new();
+        let (a, epoch_a) = plane.get("apache", None);
+        let (b, epoch_b) = plane.get("squid", Some(3));
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!((epoch_a, epoch_b), (0, 0));
+        assert!(Arc::ptr_eq(&a, &b), "miss path allocates nothing");
+    }
+
+    #[test]
+    fn foreign_publishes_keep_unrelated_programs_pointer_stable() {
+        let plane = ReadPlane::new();
+        plane.publish(|dir| {
+            dir.insert("apache".into(), entry(1, &[1]));
+        });
+        let (before, _) = plane.get("apache", None);
+        plane.publish(|dir| {
+            dir.insert("squid".into(), entry(1, &[2]));
+        });
+        let (after, _) = plane.get("apache", None);
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(plane.retired_count(), 2, "one retirement per publish");
+    }
+
+    #[test]
+    fn scoped_reads_prefer_the_worker_overlay() {
+        let plane = ReadPlane::new();
+        let mut e = entry(2, &[1]);
+        e.scoped.insert(
+            7,
+            Arc::new(PatchSet::from_patches([Patch::new(
+                BugType::DanglingRead,
+                CallSite([9, 0, 0]),
+                &SymbolTable::new(),
+            )])),
+        );
+        plane.publish(|dir| {
+            dir.insert("mutt".into(), e);
+        });
+        assert_eq!(plane.get("mutt", None).0.len(), 1);
+        assert_eq!(plane.get("mutt", Some(7)).0.len(), 1);
+        assert!(plane
+            .get("mutt", Some(7))
+            .0
+            .match_dealloc(CallSite([9, 0, 0]))
+            .is_some());
+        assert!(plane
+            .get("mutt", Some(8))
+            .0
+            .match_dealloc(CallSite([9, 0, 0]))
+            .is_none());
+    }
+}

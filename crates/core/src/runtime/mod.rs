@@ -349,9 +349,10 @@ impl FirstAidRuntime {
         self.trial_errors
     }
 
-    /// Re-reads this program's patches from the pool and updates the
-    /// sync markers (single lock hold).
-    fn sync_pool_patches(&mut self) -> fa_allocext::PatchSet {
+    /// Re-reads this program's published patches from the pool's
+    /// lock-free plane and updates the sync markers. The returned Arc
+    /// is the pool's own snapshot — no patch is copied.
+    fn sync_pool_patches(&mut self) -> std::sync::Arc<fa_allocext::PatchSet> {
         self.pool_version_seen = self.pool.version();
         let (patches, epoch) = self.pool.get_with_epoch(&self.program);
         self.pool_epoch_seen = epoch;
@@ -414,7 +415,7 @@ impl FirstAidRuntime {
     /// delay-free quarantine when program-wide generic patches are
     /// active (they quarantine *every* free, so the production budget
     /// would recycle poisoned blocks far too early).
-    fn install_patchset(&mut self, patches: PatchSet) {
+    fn install_patchset(&mut self, patches: std::sync::Arc<PatchSet>) {
         let threshold = if patches.has_generic() {
             self.config
                 .quarantine_bytes

@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use fa_heap::Heap;
 use fa_mem::{AccessKind, Addr, MemFault, SimMemory};
@@ -101,7 +102,10 @@ pub struct ExtAllocator {
     heap: Heap,
     mode: ExtMode,
     plan: ChangePlan,
-    patches: PatchSet,
+    /// The active patch set, shared with the pool's published snapshot
+    /// when installed from a fleet pool: installing fleet patches is an
+    /// `Arc` handoff, not a copy.
+    patches: Arc<PatchSet>,
     table: ObjectTable,
     quarantine: Quarantine,
     /// Canary-marked free regions from heap marking: `(addr, len)`.
@@ -131,7 +135,7 @@ impl ExtAllocator {
             heap,
             mode: ExtMode::Normal,
             plan: ChangePlan::none(),
-            patches: PatchSet::new(),
+            patches: Arc::new(PatchSet::new()),
             table: ObjectTable::new(),
             quarantine: Quarantine::new(DEFAULT_QUARANTINE_BYTES),
             marks: Vec::new(),
@@ -154,10 +158,12 @@ impl ExtAllocator {
     // Mode control
     // ------------------------------------------------------------------
 
-    /// Switches to normal mode with the given patch set.
-    pub fn set_normal(&mut self, patches: PatchSet) {
+    /// Switches to normal mode with the given patch set. Accepts a
+    /// plain `PatchSet` or an `Arc<PatchSet>` (a pool-published
+    /// snapshot installs without copying a single patch).
+    pub fn set_normal(&mut self, patches: impl Into<Arc<PatchSet>>) {
         self.mode = ExtMode::Normal;
-        self.patches = patches;
+        self.patches = patches.into();
         self.plan = ChangePlan::none();
         self.tracing = false;
         self.track_init = false;
@@ -186,9 +192,9 @@ impl ExtAllocator {
 
     /// Switches to validation mode: randomized allocation, tracing on,
     /// patches active.
-    pub fn set_validation(&mut self, patches: PatchSet, seed: u64) {
+    pub fn set_validation(&mut self, patches: impl Into<Arc<PatchSet>>, seed: u64) {
         self.mode = ExtMode::Validation;
-        self.patches = patches;
+        self.patches = patches.into();
         self.plan = ChangePlan::none();
         self.tracing = true;
         self.track_init = true;

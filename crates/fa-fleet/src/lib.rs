@@ -14,6 +14,12 @@
 //!
 //! What the supervisor provides:
 //!
+//! * **Event-driven refresh** — workers subscribe to the pool's
+//!   epoch-stamped event log
+//!   ([`PoolEvents`](first_aid_core::PoolEvents)) and re-read their
+//!   patch set only when an event names their own program; the quiet
+//!   path is one atomic load and the read itself is the pool's
+//!   lock-free plane.
 //! * **Dispatch** — [`DispatchPolicy::RoundRobin`] or
 //!   [`DispatchPolicy::LeastBacklog`] (live backlog counters per worker).
 //! * **Sharing ablation** — [`PoolSharing::PerWorker`] gives each worker
@@ -31,6 +37,11 @@
 //!   patch-hit / rollback counts, and *time-to-fleet-immunity*: the
 //!   latest per-worker virtual time at which a worker first held patches
 //!   ([`FleetReport::time_to_fleet_immunity_ns`]).
+//! * **Scale harness** — [`ScaleFleet`] shards 10²–10⁵ simulated
+//!   workers into gossip cells ([`CellTopology`]) and drives the real
+//!   lock-free patch plane from every simulated input, with a
+//!   deterministic virtual-time propagation model (used by the
+//!   `fleet_scale` bench).
 //!
 //! # Example
 //!
@@ -60,9 +71,15 @@
 //! assert!(r2.time_to_fleet_immunity_ns.is_some());
 //! ```
 
+pub mod cells;
 pub mod metrics;
+pub mod scale;
 pub mod supervisor;
 mod worker;
 
+pub use cells::CellTopology;
 pub use metrics::{FleetMetrics, FleetReport, WorkerReport};
+pub use scale::{
+    measure_query_latency, AppPlan, QueryLatency, ScaleConfig, ScaleFleet, ScaleOutcome,
+};
 pub use supervisor::{AppFactory, BackoffConfig, DispatchPolicy, Fleet, FleetConfig, PoolSharing};

@@ -221,21 +221,29 @@ impl Fleet {
                     // Min backlog; ties rotate with the cursor so idle
                     // workers take turns instead of worker 0 soaking up
                     // every quiet period.
+                    //
+                    // All backlog accesses are Relaxed: the counter is
+                    // an advisory heuristic, not a synchronization
+                    // point. The inputs themselves synchronize through
+                    // the mpsc channel (send happens-before recv), and
+                    // a momentarily stale count only means a slightly
+                    // less balanced pick — never a lost or reordered
+                    // input.
                     (0..n)
                         .min_by_key(|&i| {
                             (
-                                handles[i].backlog.load(Ordering::Acquire),
+                                handles[i].backlog.load(Ordering::Relaxed),
                                 (i + n - cursor % n) % n,
                             )
                         })
                         .expect("n >= 1")
                 }
             };
-            handles[target].backlog.fetch_add(1, Ordering::AcqRel);
+            handles[target].backlog.fetch_add(1, Ordering::Relaxed);
             if handles[target].sender.send(input).is_err() {
                 // Worker thread died (panicked); its report is lost but
                 // the rest of the fleet keeps serving.
-                handles[target].backlog.fetch_sub(1, Ordering::AcqRel);
+                handles[target].backlog.fetch_sub(1, Ordering::Relaxed);
             }
         }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use fa_exec::Backoff;
 use fa_proc::Input;
-use first_aid_core::{FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
+use first_aid_core::{EventPoll, FirstAidConfig, FirstAidRuntime, PatchPool, ThroughputSampler};
 
 use first_aid_core::{DegradationMetrics, SentryMetrics};
 
@@ -59,11 +59,15 @@ fn fold(runtime: &mut FirstAidRuntime, into: &mut Folded) {
 
 /// Drains `jobs` through one supervised process until the channel closes.
 ///
-/// The worker polls the shared pool before every input (one atomic load
-/// on the fast path), so a patch diagnosed by a sibling lands here before
-/// the next input is handled. Virtual time is kept monotone across
-/// relaunches via `wall_base`; crash-loop backoff and restart cost are
-/// charged to it as idle time.
+/// Patch propagation is event-driven: the worker subscribes to the
+/// pool's event log before launching (so no mutation can slip between
+/// the launch-time install and the first poll) and, per input, does one
+/// quiet-path atomic load. Only when an event names *this worker's
+/// program* (or the subscriber lagged the bounded ring) does it re-read
+/// the published patch set — a sibling program's patch traffic no
+/// longer costs this worker anything. Virtual time is kept monotone
+/// across relaunches via `wall_base`; crash-loop backoff and restart
+/// cost are charged to it as idle time.
 pub(crate) fn run(
     params: WorkerParams,
     jobs: Receiver<Input>,
@@ -77,7 +81,14 @@ pub(crate) fn run(
         )
         .expect("fleet worker launch")
     };
+    // Subscribe before the launch-time patch install: events published
+    // after this point are seen by the cursor, events published before
+    // it are already reflected in the state `launch` reads. Either way
+    // nothing is missed; at worst an event raced between subscribe and
+    // launch costs one redundant (cheap, lock-free) refresh.
+    let mut events = params.pool.events().subscribe();
     let mut runtime = launch();
+    let program = runtime.program().to_owned();
     let mut sampler = ThroughputSampler::new(params.window_ns);
     let mut report = WorkerReport {
         worker: params.id,
@@ -105,12 +116,26 @@ pub(crate) fn run(
     }
 
     while let Ok(input) = jobs.recv() {
-        if runtime.refresh_patches() && report.immunized_at_ns.is_none() {
+        // Event-driven refresh: Quiet is one atomic load and no lock;
+        // only events for this worker's program (or a lagged ring,
+        // where dropped events force the conservative full refresh)
+        // reach `refresh_patches`.
+        let moved = match params.pool.events().poll(&mut events) {
+            EventPoll::Quiet => false,
+            EventPoll::Lagged => true,
+            EventPoll::Events(batch) => batch.iter().any(|e| e.program == program),
+        };
+        if moved && runtime.refresh_patches() && report.immunized_at_ns.is_none() {
             report.immunized_at_ns = Some(wall_base + runtime.wall_ns());
         }
         let buggy = input.buggy;
         let outcome = runtime.feed(input);
-        backlog.fetch_sub(1, Ordering::AcqRel);
+        // Relaxed: the counter is an advisory load gauge for the
+        // dispatcher's LeastBacklog heuristic. The input itself travels
+        // through the mpsc channel, whose send/recv pair already
+        // provides the happens-before edge; no memory is published via
+        // this counter, so no Acquire/Release pairing is needed.
+        backlog.fetch_sub(1, Ordering::Relaxed);
 
         if outcome.served {
             report.served += 1;

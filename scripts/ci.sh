@@ -31,3 +31,11 @@ cargo run --release --offline -p fa-bench --bin sentry -- --check
 # re-converge byte-identically, and stay immunized. (The per-kill-point
 # acceptance sweep runs in the root test suite: crash_supervision.rs.)
 cargo run --release --offline -p fa-bench --bin crash -- --check
+
+# Patch-plane scale gate: lock-free reads must beat the locked baseline
+# by >=5x under contention, time-to-fleet-immunity must stay sublinear
+# from 10^2 to 10^5 workers, and the virtual-time propagation outputs
+# must match results/fleet_scale.json exactly (seeded + deterministic).
+# Single-worker throughput regressions are covered by the perf gate
+# above; this gate covers the fleet-scale query path.
+cargo run --release --offline -p fa-bench --bin fleet_scale -- --check

@@ -84,12 +84,14 @@ pub use first_aid_core as core;
 pub mod prelude {
     pub use fa_allocext::{BugType, ExtAllocator, Patch, PatchSet, PreventiveChange};
     pub use fa_fleet::{
-        DispatchPolicy, Fleet, FleetConfig, FleetReport, PoolSharing, WorkerReport,
+        CellTopology, DispatchPolicy, Fleet, FleetConfig, FleetReport, PoolSharing, ScaleConfig,
+        ScaleFleet, WorkerReport,
     };
     pub use fa_mem::{Addr, SimMemory};
     pub use fa_proc::{App, BoxedApp, Fault, Input, InputBuilder, Process, ProcessCtx, Response};
     pub use first_aid_core::{
-        BugReport, FirstAidConfig, FirstAidRuntime, PatchPool, RestartRuntime, RxRuntime,
-        SentryConfig, SentryMetrics, TrapKind, TrapRecord,
+        BugReport, EventCursor, EventPoll, FirstAidConfig, FirstAidRuntime, PatchPool, PoolEvent,
+        PoolEventKind, PoolEvents, QuarantinePolicy, RestartRuntime, RxRuntime, SentryConfig,
+        SentryMetrics, TrapKind, TrapRecord,
     };
 }

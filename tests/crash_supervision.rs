@@ -201,6 +201,78 @@ fn journal_truncation_recovers_a_valid_earlier_epoch_never_corrupt() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Canonical, order-insensitive digest of a patch set (for comparing
+/// the lock-free plane against the locked oracle).
+fn digest(set: &PatchSet) -> Vec<String> {
+    let mut rows: Vec<String> = set.patches().iter().map(|p| format!("{p:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Journal/replay equivalence for the lock-free read plane: a pool
+/// recovered from a (possibly torn) journal rebuilds its RCU snapshot
+/// directory to exactly the state the locked mutex-and-clone oracle
+/// reports — same epoch, same patches — both right after recovery and
+/// after re-running the workload to convergence, where it must also
+/// match the uninterrupted reference run's plane.
+#[test]
+fn recovered_read_plane_matches_locked_oracle_and_reference() {
+    let spec = spec_by_key("squid").unwrap();
+    let ref_dir = scratch("plane-ref");
+    let ref_pool = PatchPool::journaled(&ref_dir).unwrap();
+    let (ref_fa, _) = run_once(&spec, ref_pool.clone());
+    let program = ref_fa.program().to_string();
+    let (ref_set, ref_epoch) = ref_pool.get_with_epoch(&program);
+    let ref_digest = digest(&ref_set);
+    assert!(ref_epoch >= 1, "reference run published");
+    let appends = ref_pool.journal().unwrap().appends();
+
+    let mut points = vec![KillPoint::clean(0), KillPoint::torn(appends - 1)];
+    points.extend(KillSchedule::sampled(0x91a7e ^ appends, appends, 2));
+
+    for (i, kp) in points.into_iter().enumerate() {
+        let dir = scratch(&format!("plane-kill-{i}"));
+        {
+            let pool = PatchPool::journaled(&dir).unwrap();
+            pool.journal().unwrap().arm_kill(kp);
+            let _ = run_once(&spec, pool.clone());
+            assert!(pool.journal().unwrap().is_dead(), "kill {kp:?} fires");
+        }
+
+        // Restart: recovery replays the journal's valid prefix and must
+        // republish the read plane — before any new traffic, the
+        // lock-free view already equals the locked oracle.
+        let pool = PatchPool::journaled(&dir).unwrap();
+        let (fast, fast_epoch) = pool.get_with_epoch(&program);
+        let (locked, locked_epoch) = pool.get_locked_with_epoch(&program);
+        assert_eq!(fast_epoch, locked_epoch, "kill {kp:?}: post-recovery epoch");
+        assert_eq!(
+            digest(&fast),
+            digest(&locked),
+            "kill {kp:?}: post-recovery plane vs locked oracle"
+        );
+
+        // Re-run to convergence: the plane tracks every replayed and
+        // newly-published epoch and lands on the reference snapshot.
+        let _ = run_once(&spec, pool.clone());
+        let (fast, fast_epoch) = pool.get_with_epoch(&program);
+        let (locked, locked_epoch) = pool.get_locked_with_epoch(&program);
+        assert_eq!(fast_epoch, locked_epoch, "kill {kp:?}: converged epoch");
+        assert_eq!(digest(&fast), digest(&locked), "kill {kp:?}");
+        assert_eq!(
+            fast_epoch, ref_epoch,
+            "kill {kp:?}: re-converges to the reference epoch"
+        );
+        assert_eq!(
+            digest(&fast),
+            ref_digest,
+            "kill {kp:?}: re-converges to the reference snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
 /// Hung-trial injection never wedges a wave: the watchdog reaps wedged
 /// trials (charging their deadline as virtual time), diagnosis still
 /// converges or descends the ladder, and no input is lost untracked.
