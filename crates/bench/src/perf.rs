@@ -27,6 +27,7 @@ use std::time::Instant;
 use fa_allocext::ExtAllocator;
 use fa_apps::{all_specs, spec_by_key, AppSpec, WorkloadSpec};
 use fa_checkpoint::{AdaptiveConfig, CheckpointManager};
+use fa_mem::{Addr, Perms, SimMemory, PAGE_SIZE};
 use fa_proc::{Process, ProcessCtx};
 use first_aid_core::{DiagnosisEngine, DiagnosisOutcome, EngineConfig, FaultPlan};
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,25 @@ pub struct SnapshotCost {
     pub snapshot_us: f64,
     /// Mean wall-clock cost of one rollback, in microseconds.
     pub restore_us: f64,
+}
+
+/// Hot-path figures for the paged memory substrate: the TLB in front
+/// of the radix page-table walk, and the permission-flip primitive
+/// behind guard-page install and poison-on-free.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemSubstrate {
+    /// Translation-cache hits across a normal Apache run.
+    pub tlb_hits: u64,
+    /// Translation-cache misses (page-table walks) across the same run.
+    pub tlb_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub tlb_hit_rate: f64,
+    /// Permission flips timed for `guard_flip_ns`.
+    pub flips: usize,
+    /// Mean wall-clock cost of one `protect()` permission flip, in
+    /// nanoseconds. Flips allocate no frames, so this must stay
+    /// page-count-independent and far below a page copy.
+    pub guard_flip_ns: f64,
 }
 
 /// Sequential-vs-parallel diagnosis latency for one application.
@@ -97,6 +117,8 @@ pub struct PerfReport {
     pub throughput: Vec<AppThroughput>,
     /// Checkpoint hot-path cost.
     pub snapshot: SnapshotCost,
+    /// Memory-substrate hot paths (TLB hit rate, guard-flip cost).
+    pub memory: MemSubstrate,
     /// Diagnosis latency, sequential vs parallel.
     pub diagnosis: Vec<DiagnosisLatency>,
 }
@@ -154,6 +176,51 @@ fn measure_snapshot(cycles: usize) -> SnapshotCost {
         cycles,
         snapshot_us: snap_ns as f64 / cycles as f64 / 1e3,
         restore_us: rest_ns as f64 / cycles as f64 / 1e3,
+    }
+}
+
+/// Measures the memory-substrate hot paths.
+///
+/// The TLB hit rate comes from a normal (trigger-free) Apache run — the
+/// same access mix the throughput rows measure — read off the process's
+/// address space afterwards. The guard-flip cost times `protect()`
+/// GUARD/RW round trips on a dedicated region, the primitive fa-sentry
+/// uses for every slot placement, poison and release.
+fn measure_mem_substrate(quick: bool) -> MemSubstrate {
+    let spec = spec_by_key("apache").unwrap();
+    let mut p = launch(&spec, 1 << 28);
+    let n = if quick { 1_000 } else { 2_000 };
+    for input in (spec.workload)(&WorkloadSpec::new(n, &[])) {
+        assert!(
+            p.feed(input).is_ok(),
+            "apache: trigger-free workload must not fail"
+        );
+    }
+    let stats = p.ctx.mem.tlb_stats();
+    let lookups = stats.hits + stats.misses;
+    let tlb_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / lookups as f64
+    };
+
+    let mut mem = SimMemory::new();
+    let base = Addr(0x7000_0000);
+    mem.map(base, 1 << 20, "flip-bench").unwrap();
+    let flips = if quick { 20_000 } else { 50_000 };
+    let t = Instant::now();
+    for i in 0..flips {
+        let page = base.offset(((i % 256) * PAGE_SIZE) as u64);
+        let perms = if i % 2 == 0 { Perms::GUARD } else { Perms::RW };
+        mem.protect(page, PAGE_SIZE as u64, perms).unwrap();
+    }
+    let guard_flip_ns = t.elapsed().as_nanos() as f64 / flips as f64;
+    MemSubstrate {
+        tlb_hits: stats.hits,
+        tlb_misses: stats.misses,
+        tlb_hit_rate,
+        flips,
+        guard_flip_ns,
     }
 }
 
@@ -248,6 +315,7 @@ pub fn measure(quick: bool) -> PerfReport {
         .map(|s| measure_throughput(s, n))
         .collect();
     let snapshot = measure_snapshot(if quick { 20 } else { 50 });
+    let memory = measure_mem_substrate(quick);
     let diagnosis = ["apache", "squid"]
         .iter()
         .map(|k| measure_diagnosis(k))
@@ -255,6 +323,7 @@ pub fn measure(quick: bool) -> PerfReport {
     PerfReport {
         throughput,
         snapshot,
+        memory,
         diagnosis,
     }
 }
@@ -272,6 +341,12 @@ pub fn check(baseline: Option<&PerfReport>, current: &PerfReport) -> Vec<String>
                 d.app, d.virtual_speedup
             ));
         }
+    }
+    if current.memory.tlb_hit_rate < 0.5 {
+        violations.push(format!(
+            "TLB hit rate {:.1}% is below the absolute 50% floor",
+            current.memory.tlb_hit_rate * 100.0
+        ));
     }
     let Some(base) = baseline else {
         return violations;
@@ -296,6 +371,19 @@ pub fn check(baseline: Option<&PerfReport>, current: &PerfReport) -> Vec<String>
         violations.push(format!(
             "restore cost {:.1}us exceeds 2.5x baseline {:.1}us",
             current.snapshot.restore_us, base.snapshot.restore_us
+        ));
+    }
+    if current.memory.guard_flip_ns > base.memory.guard_flip_ns * 2.5 {
+        violations.push(format!(
+            "guard flip cost {:.0}ns exceeds 2.5x baseline {:.0}ns",
+            current.memory.guard_flip_ns, base.memory.guard_flip_ns
+        ));
+    }
+    if current.memory.tlb_hit_rate < base.memory.tlb_hit_rate - 0.10 {
+        violations.push(format!(
+            "TLB hit rate {:.1}% fell more than 10 points below baseline {:.1}%",
+            current.memory.tlb_hit_rate * 100.0,
+            base.memory.tlb_hit_rate * 100.0
         ));
     }
     for cur in &current.diagnosis {
@@ -333,6 +421,15 @@ pub fn render(r: &PerfReport) -> String {
     out.push_str(&format!(
         "Checkpoint hot path ({} cycles): snapshot {:.1} us, restore {:.1} us\n",
         r.snapshot.cycles, r.snapshot.snapshot_us, r.snapshot.restore_us
+    ));
+    out.push_str(&format!(
+        "Memory substrate: TLB hit rate {:.1}% ({} hits / {} walks), \
+         guard flip {:.0} ns ({} flips)\n",
+        r.memory.tlb_hit_rate * 100.0,
+        r.memory.tlb_hits,
+        r.memory.tlb_misses,
+        r.memory.guard_flip_ns,
+        r.memory.flips
     ));
     out.push_str("Diagnosis latency, sequential vs parallel\n");
     for d in &r.diagnosis {

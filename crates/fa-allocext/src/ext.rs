@@ -903,32 +903,19 @@ impl AllocBackend for ExtAllocator {
         if let Some(info) = self.table.find_containing_mut(addr) {
             let end = addr.0 + len;
             match &info.state {
-                ObjState::Quarantined { freed_site, .. } => {
-                    let freed_site = *freed_site;
+                ObjState::Quarantined { .. } => {
                     let offset = addr.0.saturating_sub(info.user.0);
                     let ik = match kind {
                         AccessKind::Read => IllegalKind::QuarantineRead,
                         AccessKind::Write => IllegalKind::QuarantineWrite,
                     };
                     illegal = Some((ik, info.seq, offset, None));
-                    // A poisoned sentry slot traps the dangling access;
-                    // a delay-free change (quarantine) neutralizes it
-                    // instead, so preventive trials stay clean.
-                    if let Some(slot) = info.sentried {
-                        if self.sentry.as_ref().is_some_and(|e| e.is_poisoned(slot)) {
-                            trap = Some(TrapRecord {
-                                kind: TrapKind::PoisonAccess,
-                                access: Some(kind),
-                                addr,
-                                len,
-                                alloc_site: info.alloc_site,
-                                free_site: Some(freed_site),
-                                access_site: Some(site),
-                                size: info.size,
-                                slot,
-                            });
-                        }
-                    }
+                    // A poisoned sentry slot traps the dangling access at
+                    // the page level ([`fa_mem::Perms::POISONED`]) and is
+                    // attributed in `on_guard_trap`; a delay-free change
+                    // (quarantine) leaves the page accessible, so
+                    // preventive trials stay clean. Either way this hook
+                    // only records the illegal-access evidence.
                 }
                 ObjState::Live => {
                     if info.in_user(addr) {
@@ -1001,24 +988,11 @@ impl AllocBackend for ExtAllocator {
                     }
                 }
             }
-        } else if let Some(engine) = self.sentry.as_ref() {
-            // No tracked object contains the address. Inside the arena
-            // that means a guard page, slot no-man's land, or a recycled
-            // slot — all wild accesses worth trapping.
-            if let Some(slot) = engine.slot_of(addr) {
-                trap = Some(TrapRecord {
-                    kind: TrapKind::GuardHit,
-                    access: Some(kind),
-                    addr,
-                    len,
-                    alloc_site: CallSite::default(),
-                    free_site: None,
-                    access_site: Some(site),
-                    size: 0,
-                    slot,
-                });
-            }
         }
+        // Accesses outside every tracked object need no handling here:
+        // inside the arena they land on guard pages, poisoned slots, or
+        // released (re-guarded) slots, all of which trap on the page
+        // permission bits and are attributed in `on_guard_trap`.
         if let Some((ik, obj_seq, offset, patch)) = illegal {
             match ik {
                 IllegalKind::PaddingWrite => self.counters.padding_writes += 1,
@@ -1045,6 +1019,72 @@ impl AllocBackend for ExtAllocator {
             return Err(Fault::Mem(MemFault::GuardTrap { addr, kind, len }));
         }
         Ok(())
+    }
+
+    fn on_guard_trap(
+        &mut self,
+        _clock: &mut Clock,
+        addr: Addr,
+        len: u64,
+        kind: AccessKind,
+        site: CallSite,
+    ) {
+        // A permission-bit trap fired inside the address space; if it
+        // came from the sentry arena, attribute it. A poisoned slot
+        // still holding its quarantined object is a caught dangling
+        // access; anything else (guard pages, released or recycled
+        // slots, evicted objects) is a wild hit.
+        let Some(engine) = self.sentry.as_ref() else {
+            return;
+        };
+        let Some(slot) = engine.slot_of(addr) else {
+            return;
+        };
+        let rec = match self.table.find_containing(addr) {
+            Some(info) => match &info.state {
+                ObjState::Quarantined { freed_site, .. }
+                    if info.sentried == Some(slot) && engine.is_poisoned(slot) =>
+                {
+                    TrapRecord {
+                        kind: TrapKind::PoisonAccess,
+                        access: Some(kind),
+                        addr,
+                        len,
+                        alloc_site: info.alloc_site,
+                        free_site: Some(*freed_site),
+                        access_site: Some(site),
+                        size: info.size,
+                        slot,
+                    }
+                }
+                _ => TrapRecord {
+                    kind: TrapKind::GuardHit,
+                    access: Some(kind),
+                    addr,
+                    len,
+                    alloc_site: info.alloc_site,
+                    free_site: None,
+                    access_site: Some(site),
+                    size: info.size,
+                    slot,
+                },
+            },
+            None => TrapRecord {
+                kind: TrapKind::GuardHit,
+                access: Some(kind),
+                addr,
+                len,
+                alloc_site: CallSite::default(),
+                free_site: None,
+                access_site: Some(site),
+                size: 0,
+                slot,
+            },
+        };
+        self.sentry
+            .as_mut()
+            .expect("engine checked above")
+            .record_trap(rec);
     }
 
     fn heap(&self) -> &Heap {
@@ -1649,11 +1689,14 @@ mod tests {
         ext.observe_access(&mut clock, a, 8, AccessKind::Write, site(4))
             .unwrap();
         ext.free(&mut mem, &mut clock, a, site(2)).unwrap();
-        // Dangling read through the stale pointer traps.
-        let err = ext
-            .observe_access(&mut clock, a, 8, AccessKind::Read, site(3))
-            .unwrap_err();
-        assert_eq!(err.class(), "sentry-trap");
+        // Dangling read through the stale pointer: the observe hook only
+        // records the illegal-access evidence; the poisoned page traps
+        // at access time and the fault is routed back for attribution.
+        ext.observe_access(&mut clock, a, 8, AccessKind::Read, site(3))
+            .unwrap();
+        let err = mem.read_bytes(a, 8).unwrap_err();
+        assert!(matches!(err, MemFault::GuardTrap { .. }), "{err}");
+        ext.on_guard_trap(&mut clock, a, 8, AccessKind::Read, site(3));
         let trap = ext.take_pending_trap().unwrap();
         assert_eq!(trap.kind, TrapKind::PoisonAccess);
         assert_eq!(trap.alloc_site, site(1));
@@ -1798,11 +1841,17 @@ mod tests {
             mem.read_bytes(b, 32).unwrap(),
             b"0123456789abcdefghijklmnopqrstuv"
         );
-        // The old slot is poisoned; a stale read through it traps.
-        let err = ext
-            .observe_access(&mut clock, a, 8, AccessKind::Read, site(9))
-            .unwrap_err();
-        assert_eq!(err.class(), "sentry-trap");
+        // The old slot is poisoned; a stale read through it traps on the
+        // page permission bits and is attributed as a poison access.
+        ext.observe_access(&mut clock, a, 8, AccessKind::Read, site(9))
+            .unwrap();
+        let err = mem.read_bytes(a, 8).unwrap_err();
+        assert!(matches!(err, MemFault::GuardTrap { .. }), "{err}");
+        ext.on_guard_trap(&mut clock, a, 8, AccessKind::Read, site(9));
+        assert_eq!(
+            ext.take_pending_trap().unwrap().kind,
+            TrapKind::PoisonAccess
+        );
     }
 
     #[test]

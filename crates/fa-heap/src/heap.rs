@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use fa_mem::{Addr, RegionId, SimMemory};
+use fa_mem::{Addr, Perms, RegionId, SimMemory, PAGE_SIZE};
 
 use crate::chunk::{request_to_chunk_size, ChunkHeader, ALIGN, HDR_SIZE, MIN_CHUNK};
 use crate::error::{CorruptKind, HeapError, InvalidFreeKind};
@@ -15,6 +15,11 @@ use crate::error::{CorruptKind, HeapError, InvalidFreeKind};
 /// like dlmalloc's `fd`/`bk` pointers. Dangling reads of freshly freed
 /// memory observe this garbage instead of the old contents.
 const FREE_COOKIE: u64 = 0xfeed_face_cafe_beef;
+
+/// Bytes of free-list cookie at the start of a freed chunk's user area
+/// (two `u64`s, see [`FREE_COOKIE`]). Freed-page poisoning must spare
+/// them alongside the header.
+const COOKIE_SPAN: u64 = 16;
 
 /// Tuning knobs for a [`Heap`].
 #[derive(Clone, Debug)]
@@ -26,6 +31,16 @@ pub struct HeapConfig {
     /// Maximum heap size in bytes; growth beyond this reports
     /// [`HeapError::OutOfMemory`].
     pub limit: u64,
+    /// Flip pages of binned free chunks to [`Perms::POISONED`] so
+    /// dangling accesses trap ([`fa_mem::MemFault::GuardTrap`]) instead
+    /// of silently reading stale contents — an "electric fence" on the
+    /// ordinary heap, complementing the sentry arena. Only pages lying
+    /// fully inside a chunk's interior (past the boundary tag and the
+    /// free-list cookies) are flipped, so allocator metadata stays
+    /// accessible; small chunks therefore contribute nothing. Off by
+    /// default: production and diagnosis runs expect freed memory to
+    /// stay readable (quarantine scans, heap marking).
+    pub poison_freed_pages: bool,
 }
 
 impl Default for HeapConfig {
@@ -34,6 +49,7 @@ impl Default for HeapConfig {
             initial: 64 * 1024,
             grow_granularity: 64 * 1024,
             limit: 1 << 30,
+            poison_freed_pages: false,
         }
     }
 }
@@ -255,7 +271,7 @@ impl Heap {
             // Random slack keeps requests legal but shifts later layout.
             csize += u64::from(rng.random_range(0u32..4)) * ALIGN;
         }
-        let user = match self.pick_bin(csize) {
+        let user = match self.pick_bin(mem, csize) {
             Some((bin_size, chunk)) => self.alloc_from_bin(mem, chunk, bin_size, csize)?,
             None => self.alloc_from_top(mem, csize)?,
         };
@@ -279,7 +295,7 @@ impl Heap {
     }
 
     /// Picks the best-fit bin chunk for `csize`, honouring randomization.
-    fn pick_bin(&mut self, csize: u64) -> Option<(u64, u64)> {
+    fn pick_bin(&mut self, mem: &mut SimMemory, csize: u64) -> Option<(u64, u64)> {
         let skip = match &mut self.rng {
             Some(rng) => rng.random_range(0u32..3) as usize,
             None => 0,
@@ -297,6 +313,7 @@ impl Heap {
         if set.is_empty() {
             self.bins.remove(&bin_size);
         }
+        self.set_binned_poison(mem, Addr(chunk), bin_size, false);
         Some((bin_size, chunk))
     }
 
@@ -345,6 +362,7 @@ impl Heap {
             next_hdr.prev_in_use = false;
             next_hdr.write(mem, next)?;
             self.bins.entry(rem_size).or_default().insert(rem.0);
+            self.set_binned_poison(mem, rem, rem_size, true);
         } else {
             ChunkHeader {
                 in_use: true,
@@ -410,6 +428,7 @@ impl Heap {
             }
             .write(mem, chunk)?;
             self.bins.entry(gap).or_default().insert(chunk.0);
+            self.set_binned_poison(mem, chunk, gap, true);
             chunk = chunk.offset(gap);
             prev_size = gap;
             prev_in_use = false;
@@ -483,7 +502,7 @@ impl Heap {
                     kind: CorruptKind::BoundaryTagMismatch,
                 });
             }
-            if !self.unbin(prev, prev_hdr.size) {
+            if !self.unbin(mem, prev, prev_hdr.size) {
                 return Err(HeapError::CorruptChunk {
                     chunk: prev,
                     kind: CorruptKind::BinInconsistency,
@@ -519,7 +538,7 @@ impl Heap {
         let mut merged_next = next;
         if !next_hdr.in_use {
             // Coalesce with the following free chunk.
-            if !self.unbin(next, next_hdr.size) {
+            if !self.unbin(mem, next, next_hdr.size) {
                 return Err(HeapError::CorruptChunk {
                     chunk: next,
                     kind: CorruptKind::BinInconsistency,
@@ -541,6 +560,7 @@ impl Heap {
         after.write(mem, merged_next)?;
         self.bins.entry(size).or_default().insert(start.0);
         self.clobber_freed(mem, start)?;
+        self.set_binned_poison(mem, start, size, true);
         Ok(())
     }
 
@@ -553,16 +573,44 @@ impl Heap {
         Ok(())
     }
 
-    fn unbin(&mut self, chunk: Addr, size: u64) -> bool {
+    fn unbin(&mut self, mem: &mut SimMemory, chunk: Addr, size: u64) -> bool {
         match self.bins.get_mut(&size) {
             Some(set) => {
                 let present = set.remove(&chunk.0);
                 if set.is_empty() {
                     self.bins.remove(&size);
                 }
+                if present {
+                    self.set_binned_poison(mem, chunk, size, false);
+                }
                 present
             }
             None => false,
+        }
+    }
+
+    /// Returns the pages lying fully inside the poisonable interior of a
+    /// free chunk — past the header and free-list cookies, up to (and
+    /// excluding the page straddling) the chunk end — as a byte range.
+    fn poison_span(chunk: Addr, size: u64) -> Option<(Addr, u64)> {
+        let page = PAGE_SIZE as u64;
+        let lo = (ChunkHeader::user_of(chunk).0 + COOKIE_SPAN).next_multiple_of(page);
+        let hi = (chunk.0 + size) / page * page;
+        (lo < hi).then(|| (Addr(lo), hi - lo))
+    }
+
+    /// Flips (or restores) the permission bits of a binned chunk's
+    /// interior pages, when [`HeapConfig::poison_freed_pages`] is on.
+    /// Pure permission flips: no page data is touched, so the chunk's
+    /// boundary tags and cookies survive the round trip.
+    fn set_binned_poison(&self, mem: &mut SimMemory, chunk: Addr, size: u64, poison: bool) {
+        if !self.config.poison_freed_pages {
+            return;
+        }
+        if let Some((start, len)) = Self::poison_span(chunk, size) {
+            let perms = if poison { Perms::POISONED } else { Perms::RW };
+            mem.protect(start, len, perms)
+                .expect("binned chunk pages are mapped");
         }
     }
 
@@ -935,6 +983,54 @@ mod tests {
     }
 
     #[test]
+    fn poison_freed_pages_traps_dangling_access_until_reuse() {
+        use fa_mem::MemFault;
+        let mut mem = SimMemory::new();
+        let mut heap = Heap::with_config(
+            &mut mem,
+            Addr(0x1000_0000),
+            HeapConfig {
+                poison_freed_pages: true,
+                ..HeapConfig::default()
+            },
+        )
+        .unwrap();
+        let page = PAGE_SIZE as u64;
+        let p = heap.malloc(&mut mem, 4 * page).unwrap();
+        // A plug behind it keeps the freed chunk off the top, so it lands
+        // in a bin.
+        let plug = heap.malloc(&mut mem, 64).unwrap();
+        mem.write_u64(p.offset(2 * page), 7).unwrap();
+        heap.free(&mut mem, p).unwrap();
+        // Interior pages of the binned chunk trap on access...
+        assert!(matches!(
+            mem.read_u8(p.offset(2 * page)),
+            Err(MemFault::GuardTrap { .. })
+        ));
+        // ...while the free-list cookies (and boundary tags) stay
+        // readable for the allocator.
+        assert_eq!(mem.read_u64(p).unwrap(), FREE_COOKIE ^ (p.0 - HDR_SIZE));
+        // Reuse restores plain read/write pages.
+        let q = heap.malloc(&mut mem, 4 * page).unwrap();
+        assert_eq!(q, p, "best fit reuses the freed chunk");
+        mem.write_u8(q.offset(2 * page), 1).unwrap();
+        heap.free(&mut mem, q).unwrap();
+        heap.free(&mut mem, plug).unwrap();
+        heap.check_integrity(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn poisoning_off_by_default_keeps_freed_pages_readable() {
+        let (mut mem, mut heap) = setup();
+        let page = PAGE_SIZE as u64;
+        let p = heap.malloc(&mut mem, 4 * page).unwrap();
+        let plug = heap.malloc(&mut mem, 64).unwrap();
+        heap.free(&mut mem, p).unwrap();
+        assert!(mem.read_u8(p.offset(2 * page)).is_ok());
+        let _ = plug;
+    }
+
+    #[test]
     fn randomized_heap_stays_consistent() {
         let mut mem = SimMemory::new();
         let mut heap = Heap::new(&mut mem, Addr(0x1000_0000), 1 << 26).unwrap();
@@ -952,5 +1048,41 @@ mod tests {
             heap.free(&mut mem, p).unwrap();
         }
         assert_eq!(heap.stats().in_use_chunks, 0);
+    }
+
+    #[test]
+    fn poisoned_heap_survives_random_workload() {
+        // Same workload as `randomized_heap_stays_consistent`, with
+        // freed-page poisoning on: every split, gap, coalesce, and reuse
+        // must flip permissions symmetrically or the allocator's own
+        // metadata writes (and this test's data writes) would trap.
+        let mut mem = SimMemory::new();
+        let mut heap = Heap::with_config(
+            &mut mem,
+            Addr(0x1000_0000),
+            HeapConfig {
+                poison_freed_pages: true,
+                limit: 1 << 26,
+                ..HeapConfig::default()
+            },
+        )
+        .unwrap();
+        heap.randomize(42);
+        let mut live = Vec::new();
+        for i in 0..200u64 {
+            let req = 16 + (i * 379) % (3 * PAGE_SIZE as u64);
+            let p = heap.malloc(&mut mem, req).unwrap();
+            mem.fill(p, req, i as u8).unwrap();
+            live.push(p);
+            if i % 2 == 1 {
+                let victim = live.swap_remove((i as usize * 7) % live.len());
+                heap.free(&mut mem, victim).unwrap();
+            }
+        }
+        for p in live {
+            heap.free(&mut mem, p).unwrap();
+        }
+        assert_eq!(heap.stats().in_use_chunks, 0);
+        heap.check_integrity(&mut mem).unwrap();
     }
 }

@@ -46,8 +46,17 @@ pub enum MemFault {
         /// Requested region length.
         len: u64,
     },
-    /// A region operation referred to an unknown region.
+    /// A region operation referred to an unknown region, or a
+    /// [`crate::SimMemory::protect`] range not contained in one region.
     NoSuchRegion,
+    /// A mapping request exceeded the simulated virtual address space
+    /// (see [`crate::VA_LIMIT`]).
+    BeyondAddressSpace {
+        /// Requested region start.
+        addr: Addr,
+        /// Requested region length.
+        len: u64,
+    },
     /// An access touched a guarded (trap-on-access) region: a sentry
     /// guard page or a poisoned sentry slot.
     GuardTrap {
@@ -70,6 +79,9 @@ impl fmt::Display for MemFault {
                 write!(f, "mapping overlap at {addr} (+{len})")
             }
             MemFault::NoSuchRegion => f.write_str("no such region"),
+            MemFault::BeyondAddressSpace { addr, len } => {
+                write!(f, "mapping beyond address space at {addr} (+{len})")
+            }
             MemFault::GuardTrap { addr, kind, len } => {
                 write!(f, "sentry guard trap: {kind} of {len} byte(s) at {addr}")
             }

@@ -1,61 +1,76 @@
 //! The simulated address space.
 
 use std::cell::Cell;
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::addr::Addr;
 use crate::fault::{AccessKind, MemFault};
-use crate::page::{Page, SharedPage, PAGE_SIZE};
+use crate::page::{Page, PAGE_SIZE};
+use crate::perm::Perms;
 use crate::region::{Region, RegionId};
 use crate::snapshot::MemSnapshot;
+use crate::table::{self, Root, VA_LIMIT};
+use crate::tlb::{Tlb, TlbStats};
 
-/// A sparse, paged, checkpointable address space.
+/// A sparse, paged, checkpointable address space backed by a multi-level
+/// page table.
 ///
 /// `SimMemory` stands in for the native process memory First-Aid operates
 /// on. It provides:
 ///
 /// * region mapping with `sbrk`-style growth for the simulated heap,
 /// * byte/word reads and writes with fault detection,
-/// * O(mapped pages) copy-on-write snapshots for checkpointing,
+/// * per-page permission bits ([`Perms`]) flipped with [`Self::protect`] —
+///   the MMU primitive behind guard pages and poison-on-free,
+/// * O(1) copy-on-write snapshots for checkpointing,
 /// * dirty-page accounting for the adaptive checkpoint controller.
 ///
-/// All pages materialize lazily and zero-filled on first write, like
+/// # Structure
+///
+/// Addresses translate through a 3-level radix page table
+/// ([`crate::table`]): 9 bits per level, 4 KiB pages, 39-bit virtual
+/// address space. Each [`crate::table::PageEntry`] carries an optional
+/// backing frame plus permission bits; pages of a mapped region default to
+/// [`Perms::RW`] and materialize lazily, zero-filled, on first store, like
 /// anonymous mappings handed out by the kernel. Reads of mapped but
-/// untouched pages observe zeros.
+/// untouched pages observe zeros and never materialize frames.
 ///
-/// # Hot-path caches
+/// All table nodes are `Arc`-shared with snapshots: [`Self::snapshot`] is
+/// an `Arc` clone of the root, [`Self::restore`] a root swap, and a store
+/// after a snapshot path-copies the spine and replicates one frame.
 ///
-/// Accesses cluster heavily on one page and one region at a time, so two
-/// one-entry caches keep the common case off the `BTreeMap` lookup and the
-/// region binary search:
+/// # Translation cache
 ///
-/// * the **write cache** holds the most recently written page *removed from
-///   the page map* (preserving unique `Arc` ownership so repeated writes
-///   don't pay `Arc::make_mut` bookkeeping against a map entry), flushed
-///   back on any page switch, snapshot, unmap, grow, or restore;
-/// * the **region cache** remembers the index of the last region that
-///   satisfied a lookup, re-verified against the live bounds on every use.
+/// A direct-mapped, 64-entry TLB ([`crate::tlb`]) fronts the walk,
+/// caching effective page permissions. Entries are epoch-invalidated by
+/// every `map`/`unmap`/`grow_region`/`protect`/`restore`; pages straddling
+/// a region boundary are never cached, preserving byte-exact
+/// single-region containment faults at region edges. A one-entry region
+/// cache additionally keeps [`Self::region_of`] off the binary search on
+/// clustered lookups.
 pub struct SimMemory {
     /// Mapped regions, sorted by start address.
     regions: Vec<Region>,
-    /// Materialized pages, keyed by page number. A page currently held in
-    /// the write cache is *absent* from this map.
-    pages: BTreeMap<u64, SharedPage>,
+    /// Page-table root, `Arc`-shared with outstanding snapshots.
+    root: Arc<Root>,
     /// Page numbers written since the last [`Self::take_dirty_pages`] call.
     dirty: BTreeSet<u64>,
+    /// Number of materialized frames.
+    resident: usize,
     /// Next region id to hand out.
     next_region: u32,
+    /// Translation-cache generation; bumped by every operation that can
+    /// change a page's effective permissions or region containment.
+    epoch: u64,
     /// Total bytes read since creation (not rolled back by `restore`).
     bytes_read: u64,
     /// Total bytes written since creation (not rolled back by `restore`).
     bytes_written: u64,
-    /// One-entry write cache: the last written page, held out of `pages`.
-    wcache: Option<(u64, SharedPage)>,
-    /// Whether the cached page is already in the dirty set (skips the
-    /// per-write `BTreeSet` insert on repeated same-page writes).
-    wcache_dirty: bool,
+    /// Frames replicated by stores to snapshot-shared pages.
+    cow_faults: u64,
+    /// Permission/translation cache in front of the table walk.
+    tlb: Tlb,
     /// One-entry region-lookup cache: index into `regions` of the last hit.
     rcache: Cell<Option<usize>>,
 }
@@ -64,15 +79,17 @@ impl Clone for SimMemory {
     fn clone(&self) -> Self {
         SimMemory {
             regions: self.regions.clone(),
-            pages: self.pages.clone(),
+            // The table becomes shared between the copies; the next store
+            // on either side path-copies via `Arc::make_mut`.
+            root: Arc::clone(&self.root),
             dirty: self.dirty.clone(),
+            resident: self.resident,
             next_region: self.next_region,
+            epoch: self.epoch,
             bytes_read: self.bytes_read,
             bytes_written: self.bytes_written,
-            // The cached page becomes shared between the copies; the next
-            // write on either side replicates it via `Arc::make_mut`.
-            wcache: self.wcache.clone(),
-            wcache_dirty: self.wcache_dirty,
+            cow_faults: self.cow_faults,
+            tlb: self.tlb.clone(),
             rcache: self.rcache.clone(),
         }
     }
@@ -83,13 +100,15 @@ impl SimMemory {
     pub fn new() -> Self {
         SimMemory {
             regions: Vec::new(),
-            pages: BTreeMap::new(),
+            root: Arc::new(Root::new()),
             dirty: BTreeSet::new(),
+            resident: 0,
             next_region: 0,
+            epoch: 0,
             bytes_read: 0,
             bytes_written: 0,
-            wcache: None,
-            wcache_dirty: false,
+            cow_faults: 0,
+            tlb: Tlb::new(),
             rcache: Cell::new(None),
         }
     }
@@ -100,9 +119,15 @@ impl SimMemory {
 
     /// Maps a new region `[start, start + len)`.
     ///
-    /// Returns the region's id, or [`MemFault::MapOverlap`] if the range
-    /// intersects an existing region.
+    /// Returns the region's id, [`MemFault::MapOverlap`] if the range
+    /// intersects an existing region, or [`MemFault::BeyondAddressSpace`]
+    /// if it exceeds the 39-bit simulated address space.
     pub fn map(&mut self, start: Addr, len: u64, name: &str) -> Result<RegionId, MemFault> {
+        let end = start
+            .0
+            .checked_add(len)
+            .filter(|&end| end <= VA_LIMIT)
+            .ok_or(MemFault::BeyondAddressSpace { addr: start, len })?;
         if self.regions.iter().any(|r| r.overlaps(start, len)) {
             return Err(MemFault::MapOverlap { addr: start, len });
         }
@@ -111,45 +136,37 @@ impl SimMemory {
         let region = Region {
             id,
             start,
-            end: start.offset(len),
+            end: Addr(end),
             name: name.to_owned(),
-            guarded: false,
         };
         let pos = self.regions.partition_point(|r| r.start < region.start);
         self.regions.insert(pos, region);
         self.rcache.set(None);
+        self.epoch += 1;
         Ok(id)
     }
 
-    /// Maps a new trap-on-access guard region (see [`Region::guarded`]).
+    /// Maps a new trap-on-access region: every page is protected
+    /// [`Perms::GUARD`]. Convenience for free-standing red zones; the
+    /// sentry tier flips individual pages with [`Self::protect`] instead.
     pub fn map_guarded(&mut self, start: Addr, len: u64, name: &str) -> Result<RegionId, MemFault> {
         let id = self.map(start, len, name)?;
-        self.set_region_guarded(id, true)?;
+        self.protect(start, len, Perms::GUARD)
+            .expect("freshly mapped range must be protectable");
         Ok(id)
     }
 
-    /// Arms or disarms trap-on-access for an existing region.
-    pub fn set_region_guarded(&mut self, id: RegionId, guarded: bool) -> Result<(), MemFault> {
-        let r = self
-            .regions
-            .iter_mut()
-            .find(|r| r.id == id)
-            .ok_or(MemFault::NoSuchRegion)?;
-        r.guarded = guarded;
-        Ok(())
-    }
-
-    /// Removes a region and drops the materialized pages it exclusively
-    /// owned. Pages straddling a boundary shared with a neighbouring
-    /// region survive (with the neighbour's bytes intact).
+    /// Removes a region and drops the page-table entries it exclusively
+    /// owned. Entries of pages straddling a boundary shared with a
+    /// neighbouring region survive (with the neighbour's bytes intact).
     pub fn unmap(&mut self, id: RegionId) -> Result<(), MemFault> {
         let pos = self
             .regions
             .iter()
             .position(|r| r.id == id)
             .ok_or(MemFault::NoSuchRegion)?;
-        self.flush_wcache();
         self.rcache.set(None);
+        self.epoch += 1;
         let region = self.regions.remove(pos);
         self.reclaim_range(region.start, region.end);
         Ok(())
@@ -159,7 +176,8 @@ impl SimMemory {
     ///
     /// Shrinking drops the pages of the vacated range that no region still
     /// overlaps. Growing fails with [`MemFault::MapOverlap`] if the new
-    /// range would collide with the next region.
+    /// range would collide with the next region, or
+    /// [`MemFault::BeyondAddressSpace`] past the 39-bit space.
     pub fn grow_region(&mut self, id: RegionId, new_end: Addr) -> Result<(), MemFault> {
         let pos = self
             .regions
@@ -168,6 +186,12 @@ impl SimMemory {
             .ok_or(MemFault::NoSuchRegion)?;
         if new_end < self.regions[pos].start {
             return Err(MemFault::NoSuchRegion);
+        }
+        if new_end.0 > VA_LIMIT {
+            return Err(MemFault::BeyondAddressSpace {
+                addr: self.regions[pos].start,
+                len: new_end - self.regions[pos].start,
+            });
         }
         if let Some(next) = self.regions.get(pos + 1) {
             if new_end.0 > next.start.0 {
@@ -180,40 +204,100 @@ impl SimMemory {
         let old_end = self.regions[pos].end;
         self.regions[pos].end = new_end;
         self.rcache.set(None);
+        self.epoch += 1;
         if new_end < old_end {
-            self.flush_wcache();
             self.reclaim_range(new_end, old_end);
         }
         Ok(())
     }
 
-    /// Drops materialized pages of the dead range `[start, end)` that no
+    /// Drops page-table entries of the dead range `[start, end)` that no
     /// mapped region still overlaps.
     ///
     /// Regions are disjoint, so only the two *boundary* pages of the range
     /// can be shared — with a neighbouring region or with the retained
     /// prefix of a shrunk region; interior pages are reclaimed
-    /// unconditionally. Called after the region list has been updated.
+    /// unconditionally (whole subtrees at a time — cost is proportional to
+    /// materialized nodes, not range size). Spared boundary entries keep
+    /// both frame and permission bits. Called after the region list has
+    /// been updated.
     fn reclaim_range(&mut self, start: Addr, end: Addr) {
         if end <= start {
             return;
         }
         let first = start.page();
         let last = end.back(1).page();
-        for page in first..=last {
-            if page == first || page == last {
-                let page_start = Addr(page * PAGE_SIZE as u64);
-                if self
-                    .regions
-                    .iter()
-                    .any(|r| r.overlaps(page_start, PAGE_SIZE as u64))
-                {
+        let spared = |regions: &[Region], pageno: u64| {
+            let page_start = Addr(pageno * PAGE_SIZE as u64);
+            regions
+                .iter()
+                .any(|r| r.overlaps(page_start, PAGE_SIZE as u64))
+        };
+        let mut lo = first;
+        let mut hi = last;
+        if spared(&self.regions, first) {
+            lo += 1;
+        }
+        if spared(&self.regions, last) {
+            // `last < lo` below covers the single-page fully-spared case.
+            hi = hi.wrapping_sub(1);
+        }
+        if lo > hi || hi == u64::MAX {
+            return;
+        }
+        self.clear_pages(lo, hi);
+    }
+
+    /// Removes all page-table entries in `[lo, hi]`, dropping fully
+    /// covered subtrees wholesale.
+    fn clear_pages(&mut self, lo: u64, hi: u64) {
+        const L1_SPAN: u64 = 1 << 9; // pages per leaf
+        const L2_SPAN: u64 = 1 << 18; // pages per mid table
+        let mut removed = 0usize;
+        let root = Arc::make_mut(&mut self.root);
+        for i2 in (lo / L2_SPAN)..=(hi / L2_SPAN) {
+            let slot2 = &mut root.children[i2 as usize];
+            let Some(mid_arc) = slot2.as_mut() else {
+                continue;
+            };
+            let base2 = i2 * L2_SPAN;
+            if lo <= base2 && base2 + L2_SPAN - 1 <= hi {
+                removed += mid_arc.frames();
+                *slot2 = None;
+                continue;
+            }
+            let mid = Arc::make_mut(mid_arc);
+            let sub_lo = lo.max(base2);
+            let sub_hi = hi.min(base2 + L2_SPAN - 1);
+            for i1 in (sub_lo / L1_SPAN)..=(sub_hi / L1_SPAN) {
+                let slot1 = &mut mid.children[(i1 % L1_SPAN) as usize];
+                let Some(leaf_arc) = slot1.as_mut() else {
+                    continue;
+                };
+                let base1 = i1 * L1_SPAN;
+                if lo <= base1 && base1 + L1_SPAN - 1 <= hi {
+                    removed += leaf_arc.frames();
+                    *slot1 = None;
                     continue;
                 }
+                let leaf = Arc::make_mut(leaf_arc);
+                for pageno in sub_lo.max(base1)..=sub_hi.min(base1 + L1_SPAN - 1) {
+                    let entry = &mut leaf.entries[(pageno % L1_SPAN) as usize];
+                    if entry.frame.is_some() {
+                        removed += 1;
+                    }
+                    *entry = table::PageEntry::vacant();
+                }
+                if leaf.is_empty() {
+                    *slot1 = None;
+                }
             }
-            self.pages.remove(&page);
-            self.dirty.remove(&page);
+            if mid.is_empty() {
+                *slot2 = None;
+            }
         }
+        self.resident -= removed;
+        self.dirty.retain(|&p| p < lo || p > hi);
     }
 
     /// Returns the region containing `addr`, if any.
@@ -249,44 +333,100 @@ impl SimMemory {
         &self.regions
     }
 
-    fn check_mapped(&self, addr: Addr, len: u64, kind: AccessKind) -> Result<(), MemFault> {
+    // ------------------------------------------------------------------
+    // Permissions
+    // ------------------------------------------------------------------
+
+    /// Sets the permission bits of every page covered by
+    /// `[addr, addr + len)` — the `mprotect` analog, and the O(1)-per-page
+    /// primitive behind guard-page install and poison-on-free.
+    ///
+    /// The range must lie within a single mapped region
+    /// ([`MemFault::NoSuchRegion`] otherwise). [`Perms::COW`] is dynamic
+    /// and masked off; pass [`Perms::RW`] to restore the mapped default.
+    /// No frame is allocated or freed: page contents survive a
+    /// protect/unprotect round trip.
+    pub fn protect(&mut self, addr: Addr, len: u64, perms: Perms) -> Result<(), MemFault> {
+        let perms = perms & Perms::STORABLE;
         match self.region_of(addr) {
-            Some(r) if r.contains_range(addr, len) => {
-                if r.guarded {
-                    Err(MemFault::GuardTrap { addr, kind, len })
-                } else {
-                    Ok(())
-                }
+            Some(r) if r.contains_range(addr, len) => {}
+            _ => return Err(MemFault::NoSuchRegion),
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let first = addr.page();
+        let last = addr.offset(len - 1).page();
+        for pageno in first..=last {
+            table::walk_mut(&mut self.root, pageno).perms = perms;
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Returns the effective permissions of the page containing `addr`,
+    /// or `None` if no region maps it.
+    ///
+    /// [`Perms::COW`] is reported dynamically: set when the page has a
+    /// backing frame that a store would replicate (frame or table spine
+    /// shared with a snapshot or clone).
+    pub fn perms_of(&self, addr: Addr) -> Option<Perms> {
+        self.region_of(addr)?;
+        let pageno = addr.page();
+        let entry = table::walk(&self.root, pageno);
+        let stored = entry.map_or(Perms::RW, |e| e.perms);
+        let cow = entry.is_some_and(|e| e.frame.is_some())
+            && table::path_shared(&self.root, pageno) == Some(true);
+        Some(if cow { stored | Perms::COW } else { stored })
+    }
+
+    /// Validates an access: region containment plus per-page permission
+    /// bits. Single-page accesses are served from the TLB when possible.
+    fn access_check(&mut self, addr: Addr, len: u64, kind: AccessKind) -> Result<(), MemFault> {
+        let first = addr.page();
+        let last = if len == 0 {
+            first
+        } else {
+            addr.offset(len - 1).page()
+        };
+        if first == last {
+            if let Some(perms) = self.tlb.lookup(first, self.epoch) {
+                // A cached entry proves the page lies entirely inside one
+                // region, so the (single-page) access is contained too.
+                return Self::check_perms(perms, addr, len, kind);
             }
-            _ => Err(MemFault::AccessViolation { addr, kind, len }),
         }
+        self.tlb.count_miss();
+        let (r_start, r_end) = match self.region_of(addr) {
+            Some(r) if r.contains_range(addr, len) => (r.start.0, r.end.0),
+            _ => return Err(MemFault::AccessViolation { addr, kind, len }),
+        };
+        for pageno in first..=last {
+            let perms = table::walk(&self.root, pageno).map_or(Perms::RW, |e| e.perms);
+            Self::check_perms(perms, addr, len, kind)?;
+            // Cache only pages fully inside the region: boundary pages
+            // keep byte-exact containment checks on the slow path.
+            let page_start = pageno * PAGE_SIZE as u64;
+            if r_start <= page_start && page_start + PAGE_SIZE as u64 <= r_end {
+                self.tlb.insert(pageno, perms, self.epoch);
+            }
+        }
+        Ok(())
     }
 
-    // ------------------------------------------------------------------
-    // Write cache
-    // ------------------------------------------------------------------
-
-    /// Reinstates the cached page into the page map.
-    fn flush_wcache(&mut self) {
-        if let Some((pageno, page)) = self.wcache.take() {
-            self.pages.insert(pageno, page);
+    fn check_perms(perms: Perms, addr: Addr, len: u64, kind: AccessKind) -> Result<(), MemFault> {
+        if perms.traps() {
+            return Err(MemFault::GuardTrap { addr, kind, len });
         }
-        self.wcache_dirty = false;
-    }
-
-    /// Makes `pageno` the cached write target, materializing it zero-filled
-    /// if it has never been written.
-    fn load_wcache(&mut self, pageno: u64) {
-        if matches!(self.wcache, Some((cached, _)) if cached == pageno) {
-            return;
+        let allowed = match kind {
+            AccessKind::Read => perms.contains(Perms::READ),
+            AccessKind::Write => perms.contains(Perms::WRITE),
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(MemFault::AccessViolation { addr, kind, len })
         }
-        self.flush_wcache();
-        let page = self
-            .pages
-            .remove(&pageno)
-            .unwrap_or_else(|| Arc::new(Page::zeroed()));
-        self.wcache = Some((pageno, page));
-        self.wcache_dirty = self.dirty.contains(&pageno);
     }
 
     // ------------------------------------------------------------------
@@ -295,24 +435,19 @@ impl SimMemory {
 
     /// Reads `buf.len()` bytes starting at `addr`.
     pub fn read(&mut self, addr: Addr, buf: &mut [u8]) -> Result<(), MemFault> {
-        self.check_mapped(addr, buf.len() as u64, AccessKind::Read)?;
+        self.access_check(addr, buf.len() as u64, AccessKind::Read)?;
         self.bytes_read += buf.len() as u64;
         let mut cursor = addr;
         let mut filled = 0usize;
         while filled < buf.len() {
             let in_page = PAGE_SIZE - cursor.page_offset();
             let take = in_page.min(buf.len() - filled);
-            let pageno = cursor.page();
-            // Reads never (un)load the cache: they'd thrash it on
-            // read-mostly phases and must not materialize pages.
-            let page = match &self.wcache {
-                Some((cached, page)) if *cached == pageno => Some(page.as_ref()),
-                _ => self.pages.get(&pageno).map(Arc::as_ref),
-            };
-            match page {
-                Some(page) => {
+            // Reads walk the table read-only: they must not materialize
+            // frames or path-copy shared nodes.
+            match table::walk(&self.root, cursor.page()).and_then(|e| e.frame.as_ref()) {
+                Some(frame) => {
                     let off = cursor.page_offset();
-                    buf[filled..filled + take].copy_from_slice(&page.bytes()[off..off + take]);
+                    buf[filled..filled + take].copy_from_slice(&frame.bytes()[off..off + take]);
                 }
                 None => buf[filled..filled + take].fill(0),
             }
@@ -324,7 +459,7 @@ impl SimMemory {
 
     /// Writes `buf` starting at `addr`.
     pub fn write(&mut self, addr: Addr, buf: &[u8]) -> Result<(), MemFault> {
-        self.check_mapped(addr, buf.len() as u64, AccessKind::Write)?;
+        self.access_check(addr, buf.len() as u64, AccessKind::Write)?;
         self.bytes_written += buf.len() as u64;
         let mut cursor = addr;
         let mut taken = 0usize;
@@ -332,13 +467,22 @@ impl SimMemory {
             let in_page = PAGE_SIZE - cursor.page_offset();
             let take = in_page.min(buf.len() - taken);
             let pageno = cursor.page();
-            self.load_wcache(pageno);
-            let (_, page) = self.wcache.as_mut().expect("write cache just loaded");
+            let entry = table::walk_mut(&mut self.root, pageno);
+            let frame = match &mut entry.frame {
+                Some(frame) => {
+                    if Arc::strong_count(frame) > 1 {
+                        self.cow_faults += 1;
+                    }
+                    Arc::make_mut(frame)
+                }
+                None => {
+                    self.resident += 1;
+                    Arc::make_mut(entry.frame.insert(Arc::new(Page::zeroed())))
+                }
+            };
             let off = cursor.page_offset();
-            Arc::make_mut(page).bytes_mut()[off..off + take]
-                .copy_from_slice(&buf[taken..taken + take]);
-            if !self.wcache_dirty {
-                self.wcache_dirty = true;
+            frame.bytes_mut()[off..off + take].copy_from_slice(&buf[taken..taken + take]);
+            if !self.tlb.note_dirty(pageno, self.epoch) {
                 self.dirty.insert(pageno);
             }
             taken += take;
@@ -413,8 +557,8 @@ impl SimMemory {
     /// Both ranges are validated up front, so a fault leaves the
     /// destination unmodified.
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<(), MemFault> {
-        self.check_mapped(src, len, AccessKind::Read)?;
-        self.check_mapped(dst, len, AccessKind::Write)?;
+        self.access_check(src, len, AccessKind::Read)?;
+        self.access_check(dst, len, AccessKind::Write)?;
         const CHUNK: u64 = PAGE_SIZE as u64;
         let mut tmp = [0u8; PAGE_SIZE];
         if dst.0 <= src.0 {
@@ -447,16 +591,14 @@ impl SimMemory {
 
     /// Takes a copy-on-write snapshot of the entire address space.
     ///
-    /// Cost is proportional to the number of materialized pages (an `Arc`
-    /// clone per page), not their contents — the fork analog.
+    /// O(1): an `Arc` clone of the page-table root. Cost accrues later,
+    /// per *written* page, as stores path-copy the shared spine — the
+    /// fork analog.
     pub fn snapshot(&self) -> MemSnapshot {
-        let mut pages = self.pages.clone();
-        if let Some((pageno, page)) = &self.wcache {
-            pages.insert(*pageno, Arc::clone(page));
-        }
         MemSnapshot {
             regions: self.regions.clone(),
-            pages,
+            root: Arc::clone(&self.root),
+            resident: self.resident,
             next_region: self.next_region,
         }
     }
@@ -464,34 +606,18 @@ impl SimMemory {
     /// Restores the address space from a snapshot, discarding all changes
     /// made after it was taken.
     ///
-    /// The restore is diff-aware: pages still `Arc`-shared with the
-    /// snapshot stay in place, so resetting a pooled trial context that
-    /// last ran from a nearby checkpoint only touches the diverged pages
-    /// (the slab-reuse hot path in fa-exec) instead of rebuilding the
-    /// whole map. The resulting page map is indistinguishable from a
-    /// wholesale copy of the snapshot's.
+    /// O(1): swaps the page-table root back to the snapshot's. Pages
+    /// still shared with the snapshot are untouched; diverged spine nodes
+    /// and frames are simply dropped, so resetting a pooled trial context
+    /// (the slab-reuse hot path in fa-exec) costs only the free of the
+    /// diverged state.
     pub fn restore(&mut self, snap: &MemSnapshot) {
-        // The cached write page sits outside `pages`; its post-snapshot
-        // contents are being discarded, so drop it rather than flush it.
-        self.wcache = None;
-        self.wcache_dirty = false;
+        self.root = Arc::clone(&snap.root);
+        self.resident = snap.resident;
         self.regions.clone_from(&snap.regions);
         self.next_region = snap.next_region;
-        self.pages
-            .retain(|pageno, _| snap.pages.contains_key(pageno));
-        for (pageno, page) in &snap.pages {
-            match self.pages.entry(*pageno) {
-                Entry::Occupied(mut live) => {
-                    if !Arc::ptr_eq(live.get(), page) {
-                        *live.get_mut() = Arc::clone(page);
-                    }
-                }
-                Entry::Vacant(slot) => {
-                    slot.insert(Arc::clone(page));
-                }
-            }
-        }
         self.dirty.clear();
+        self.epoch += 1;
         self.rcache.set(None);
     }
 
@@ -506,7 +632,7 @@ impl SimMemory {
     pub fn take_dirty_pages(&mut self) -> usize {
         let n = self.dirty.len();
         self.dirty.clear();
-        self.wcache_dirty = false;
+        self.tlb.clear_dirty();
         n
     }
 
@@ -518,7 +644,7 @@ impl SimMemory {
 
     /// Returns the number of materialized (resident) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len() + usize::from(self.wcache.is_some())
+        self.resident
     }
 
     /// Returns the total size of all mapped regions in bytes.
@@ -535,6 +661,17 @@ impl SimMemory {
     /// creation.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// Returns hit/miss counters of the translation cache.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Returns the number of frames replicated by stores to
+    /// snapshot-shared pages since creation (the COW fault count).
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
     }
 }
 
@@ -602,6 +739,28 @@ mod tests {
         ));
         // Adjacent is fine.
         assert!(mem.map(base.offset(1 << 20), 4096, "y").is_ok());
+    }
+
+    #[test]
+    fn map_beyond_address_space_rejected() {
+        let mut mem = SimMemory::new();
+        assert!(matches!(
+            mem.map(Addr(VA_LIMIT), 4096, "high"),
+            Err(MemFault::BeyondAddressSpace { .. })
+        ));
+        assert!(matches!(
+            mem.map(Addr(u64::MAX - 100), 4096, "wrap"),
+            Err(MemFault::BeyondAddressSpace { .. })
+        ));
+        // The last page of the 39-bit space is fine.
+        let id = mem
+            .map(Addr(VA_LIMIT - PAGE_SIZE as u64), PAGE_SIZE as u64, "top")
+            .unwrap();
+        mem.write_u8(Addr(VA_LIMIT - 1), 0xee).unwrap();
+        assert!(matches!(
+            mem.grow_region(id, Addr(VA_LIMIT + 1)),
+            Err(MemFault::BeyondAddressSpace { .. })
+        ));
     }
 
     #[test]
@@ -708,7 +867,7 @@ mod tests {
             assert_eq!(mem.read_u64(base.offset(i * stride)).unwrap(), i);
         }
         assert_eq!(mem.read_u64(base.offset(10 * stride)).unwrap(), 0);
-        // A second restore with no intervening writes is a no-op walk.
+        // A second restore with no intervening writes is a no-op swap.
         mem.restore(&snap);
         assert_eq!(mem.snapshot().content_digest(), snap.content_digest());
     }
@@ -744,7 +903,7 @@ mod tests {
         let (mut mem, base) = mapped();
         mem.write_u64(base, 1).unwrap();
         assert_eq!(mem.take_dirty_pages(), 1);
-        // Same page stays in the write cache across the interval boundary;
+        // Same page stays hot in the TLB across the interval boundary;
         // the next write must count it dirty again.
         mem.write_u64(base.offset(8), 2).unwrap();
         assert_eq!(mem.dirty_page_count(), 1);
@@ -774,11 +933,10 @@ mod tests {
     }
 
     #[test]
-    fn unmap_reclaims_cached_and_trailing_pages() {
+    fn unmap_reclaims_all_pages() {
         let mut mem = SimMemory::new();
         let base = Addr(0x1000);
         let id = mem.map(base, 2 * PAGE_SIZE as u64, "a").unwrap();
-        // Leave the trailing page in the write cache when unmapping.
         mem.write_u8(base, 1).unwrap();
         mem.write_u8(base.offset(PAGE_SIZE as u64), 2).unwrap();
         mem.unmap(id).unwrap();
@@ -881,9 +1039,10 @@ mod tests {
     }
 
     #[test]
-    fn guarded_region_traps_reads_and_writes() {
+    fn guarded_page_traps_reads_and_writes() {
         let mut mem = SimMemory::new();
-        let id = mem.map_guarded(Addr(0x1000), 4096, "guard").unwrap();
+        mem.map(Addr(0x1000), 4096, "slot").unwrap();
+        mem.protect(Addr(0x1000), 4096, Perms::GUARD).unwrap();
         assert!(matches!(
             mem.read_u8(Addr(0x1000)),
             Err(MemFault::GuardTrap {
@@ -898,28 +1057,176 @@ mod tests {
                 ..
             })
         ));
-        // Disarming makes it an ordinary region again.
-        mem.set_region_guarded(id, false).unwrap();
+        // Disarming makes it an ordinary page again.
+        mem.protect(Addr(0x1000), 4096, Perms::RW).unwrap();
         assert!(mem.write_u8(Addr(0x1000), 1).is_ok());
         assert_eq!(mem.read_u8(Addr(0x1000)).unwrap(), 1);
     }
 
     #[test]
-    fn guard_flag_survives_snapshot_restore() {
+    fn map_guarded_protects_every_page() {
         let mut mem = SimMemory::new();
-        let id = mem.map(Addr(0x1000), 4096, "slot").unwrap();
-        mem.write_u8(Addr(0x1000), 7).unwrap();
-        let snap = mem.snapshot();
-        mem.set_region_guarded(id, true).unwrap();
-        assert!(mem.read_u8(Addr(0x1000)).is_err());
-        mem.restore(&snap);
-        assert_eq!(mem.read_u8(Addr(0x1000)).unwrap(), 7);
+        mem.map_guarded(Addr(0x1000), 2 * PAGE_SIZE as u64, "guard")
+            .unwrap();
+        assert!(matches!(
+            mem.read_u8(Addr(0x1000)),
+            Err(MemFault::GuardTrap { .. })
+        ));
+        assert!(matches!(
+            mem.write_u8(Addr(0x1000 + PAGE_SIZE as u64), 1),
+            Err(MemFault::GuardTrap { .. })
+        ));
+        assert_eq!(mem.resident_pages(), 0, "guarding allocates no frames");
     }
 
     #[test]
-    fn snapshot_includes_write_cached_page() {
+    fn poisoned_page_traps_and_contents_survive_unpoison() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000);
+        mem.map(base, 4096, "chunk").unwrap();
+        mem.write_u64(base, 0xfeed).unwrap();
+        mem.protect(base, 4096, Perms::POISONED).unwrap();
+        assert!(matches!(
+            mem.read_u64(base),
+            Err(MemFault::GuardTrap {
+                kind: AccessKind::Read,
+                ..
+            })
+        ));
+        mem.protect(base, 4096, Perms::RW).unwrap();
+        assert_eq!(
+            mem.read_u64(base).unwrap(),
+            0xfeed,
+            "poison round trip must not touch contents"
+        );
+    }
+
+    #[test]
+    fn guard_flip_allocates_nothing() {
+        // The acceptance-criteria unit test: arming and disarming a guard
+        // page is a pure permission flip — no region allocation, no frame
+        // materialization, no change to the mapped extent.
         let (mut mem, base) = mapped();
-        mem.write_u64(base, 77).unwrap(); // page rides in the write cache
+        mem.write_u8(base, 1).unwrap();
+        let regions = mem.regions().len();
+        let resident = mem.resident_pages();
+        let mapped = mem.mapped_bytes();
+        for _ in 0..1000 {
+            mem.protect(
+                base.offset(PAGE_SIZE as u64),
+                PAGE_SIZE as u64,
+                Perms::GUARD,
+            )
+            .unwrap();
+            mem.protect(base.offset(PAGE_SIZE as u64), PAGE_SIZE as u64, Perms::RW)
+                .unwrap();
+        }
+        assert_eq!(mem.regions().len(), regions);
+        assert_eq!(mem.resident_pages(), resident);
+        assert_eq!(mem.mapped_bytes(), mapped);
+    }
+
+    #[test]
+    fn protect_requires_single_region_containment() {
+        let (mut mem, base) = mapped();
+        assert!(matches!(
+            mem.protect(Addr(0x50), 16, Perms::GUARD),
+            Err(MemFault::NoSuchRegion)
+        ));
+        // Range running off the region end.
+        assert!(mem
+            .protect(base.offset((1 << 20) - 8), 16, Perms::GUARD)
+            .is_err());
+    }
+
+    #[test]
+    fn perms_of_reports_default_protect_and_cow() {
+        let (mut mem, base) = mapped();
+        assert_eq!(mem.perms_of(Addr(0x50)), None);
+        assert_eq!(mem.perms_of(base), Some(Perms::RW));
+        mem.protect(base, PAGE_SIZE as u64, Perms::GUARD).unwrap();
+        assert_eq!(mem.perms_of(base), Some(Perms::GUARD));
+        mem.protect(base, PAGE_SIZE as u64, Perms::RW).unwrap();
+        // COW appears only while a written page is snapshot-shared.
+        mem.write_u8(base, 1).unwrap();
+        assert_eq!(mem.perms_of(base), Some(Perms::RW));
+        let snap = mem.snapshot();
+        assert_eq!(mem.perms_of(base), Some(Perms::RW | Perms::COW));
+        mem.write_u8(base, 2).unwrap(); // replicates the frame
+        assert_eq!(mem.perms_of(base), Some(Perms::RW));
+        drop(snap);
+        // Untouched pages are never COW (nothing to replicate).
+        assert_eq!(mem.perms_of(base.offset(PAGE_SIZE as u64)), Some(Perms::RW));
+    }
+
+    #[test]
+    fn cow_faults_count_replications() {
+        let (mut mem, base) = mapped();
+        mem.write_u8(base, 1).unwrap();
+        assert_eq!(mem.cow_faults(), 0);
+        let _snap = mem.snapshot();
+        mem.write_u8(base, 2).unwrap();
+        assert_eq!(mem.cow_faults(), 1, "store to a shared page replicates");
+        mem.write_u8(base, 3).unwrap();
+        assert_eq!(mem.cow_faults(), 1, "page is private again");
+    }
+
+    #[test]
+    fn guard_survives_snapshot_restore() {
+        let mut mem = SimMemory::new();
+        mem.map(Addr(0x1000), 4096, "slot").unwrap();
+        mem.write_u8(Addr(0x1000), 7).unwrap();
+        let snap = mem.snapshot();
+        mem.protect(Addr(0x1000), 4096, Perms::GUARD).unwrap();
+        assert!(mem.read_u8(Addr(0x1000)).is_err());
+        mem.restore(&snap);
+        assert_eq!(mem.read_u8(Addr(0x1000)).unwrap(), 7);
+        // And the converse: a guard armed before the snapshot is restored
+        // with it.
+        mem.protect(Addr(0x1000), 4096, Perms::GUARD).unwrap();
+        let armed = mem.snapshot();
+        mem.protect(Addr(0x1000), 4096, Perms::RW).unwrap();
+        assert!(mem.read_u8(Addr(0x1000)).is_ok());
+        mem.restore(&armed);
+        assert!(mem.read_u8(Addr(0x1000)).is_err());
+    }
+
+    #[test]
+    fn tlb_serves_hot_page_and_invalidates_on_protect() {
+        let (mut mem, base) = mapped();
+        mem.write_u8(base.offset(2 * PAGE_SIZE as u64), 1).unwrap();
+        let hot = base.offset(2 * PAGE_SIZE as u64);
+        let before = mem.tlb_stats();
+        for _ in 0..100 {
+            let _ = mem.read_u8(hot).unwrap();
+        }
+        let after = mem.tlb_stats();
+        assert!(
+            after.hits >= before.hits + 99,
+            "hot single-page reads must hit the TLB ({before:?} -> {after:?})"
+        );
+        // Protect must invalidate the hot entry immediately.
+        mem.protect(hot, PAGE_SIZE as u64, Perms::POISONED).unwrap();
+        assert!(matches!(mem.read_u8(hot), Err(MemFault::GuardTrap { .. })));
+    }
+
+    #[test]
+    fn tlb_never_caches_region_boundary_pages() {
+        let mut mem = SimMemory::new();
+        // Region ends mid-page: accesses near the end must keep faulting
+        // byte-exactly even after many repetitions warm the cache.
+        mem.map(Addr(0x1000), 0x800, "a").unwrap();
+        for _ in 0..50 {
+            assert!(mem.read_u8(Addr(0x17ff)).is_ok());
+            assert!(mem.read_u8(Addr(0x1800)).is_err());
+            assert!(mem.read(Addr(0x17fd), &mut [0; 8]).is_err());
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_latest_write() {
+        let (mut mem, base) = mapped();
+        mem.write_u64(base, 77).unwrap();
         let snap = mem.snapshot();
         assert_eq!(snap.page_count(), 1);
         mem.write_u64(base, 88).unwrap();

@@ -1,0 +1,158 @@
+//! Per-page permission bits.
+//!
+//! Real First-Aid rides on MMU permission bits: guard pages are
+//! `PROT_NONE` mappings, freed chunks are poisoned by revoking access, and
+//! copy-on-write checkpoints mark pages read-only until the first store
+//! replicates them. [`Perms`] is the simulated analog — a small bitset
+//! attached to every materialized page-table entry (see
+//! [`crate::SimMemory::protect`]).
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// Permission bits of one simulated page.
+///
+/// Pages of a mapped region default to [`Perms::RW`] without a page-table
+/// entry being materialized; [`crate::SimMemory::protect`] overrides the
+/// default for individual pages. [`Perms::GUARD`] and [`Perms::POISONED`]
+/// both trap every access with [`crate::MemFault::GuardTrap`] — they differ
+/// only in what the diagnosis layer infers from the trap (overflow into a
+/// guard page vs. use-after-free of a poisoned one).
+///
+/// [`Perms::COW`] is *reported, never stored*: [`crate::SimMemory::perms_of`]
+/// sets it dynamically for pages whose backing frame is shared with a
+/// snapshot and would replicate on the next store. Passing `COW` to
+/// `protect` is a no-op (the bit is masked off).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access at all (and no trap semantics — plain fault on access).
+    pub const NONE: Perms = Perms(0);
+    /// Loads allowed.
+    pub const READ: Perms = Perms(1);
+    /// Stores allowed.
+    pub const WRITE: Perms = Perms(1 << 1);
+    /// Trap-on-access guard page (sentry red zone).
+    pub const GUARD: Perms = Perms(1 << 2);
+    /// Trap-on-access poisoned page (freed memory).
+    pub const POISONED: Perms = Perms(1 << 3);
+    /// Backing frame is snapshot-shared; the next store replicates it.
+    /// Dynamic — reported by [`crate::SimMemory::perms_of`], never stored.
+    pub const COW: Perms = Perms(1 << 4);
+    /// Default permissions of a mapped page: readable and writable.
+    pub const RW: Perms = Perms(1 | (1 << 1));
+
+    /// All bits that may be *stored* in a page-table entry.
+    pub(crate) const STORABLE: Perms =
+        Perms(Self::READ.0 | Self::WRITE.0 | Self::GUARD.0 | Self::POISONED.0);
+
+    /// Returns `true` if every bit of `other` is set in `self`.
+    #[inline]
+    pub fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if any bit of `other` is set in `self`.
+    #[inline]
+    pub fn intersects(self, other: Perms) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `self` with the bits of `other` removed.
+    #[inline]
+    pub fn without(self, other: Perms) -> Perms {
+        Perms(self.0 & !other.0)
+    }
+
+    /// Returns `true` if an access traps ([`Perms::GUARD`] or
+    /// [`Perms::POISONED`] is set).
+    #[inline]
+    pub fn traps(self) -> bool {
+        self.intersects(Perms(Self::GUARD.0 | Self::POISONED.0))
+    }
+
+    /// Raw bit representation.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (bit, label) in [
+            (Perms::READ, "READ"),
+            (Perms::WRITE, "WRITE"),
+            (Perms::GUARD, "GUARD"),
+            (Perms::POISONED, "POISONED"),
+            (Perms::COW, "COW"),
+        ] {
+            if self.contains(bit) {
+                if any {
+                    f.write_str("|")?;
+                }
+                f.write_str(label)?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("NONE")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_algebra() {
+        let rw = Perms::READ | Perms::WRITE;
+        assert_eq!(rw, Perms::RW);
+        assert!(rw.contains(Perms::READ));
+        assert!(!rw.contains(Perms::GUARD));
+        assert!(rw.intersects(Perms::WRITE));
+        assert_eq!(rw.without(Perms::WRITE), Perms::READ);
+        assert!(!Perms::RW.traps());
+        assert!(Perms::GUARD.traps());
+        assert!((Perms::RW | Perms::POISONED).traps());
+    }
+
+    #[test]
+    fn cow_is_not_storable() {
+        assert!(!Perms::STORABLE.intersects(Perms::COW));
+        assert!(Perms::STORABLE.contains(Perms::GUARD | Perms::POISONED));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Perms::NONE), "NONE");
+        assert_eq!(format!("{:?}", Perms::RW), "READ|WRITE");
+        assert_eq!(format!("{:?}", Perms::POISONED), "POISONED");
+    }
+}

@@ -21,10 +21,6 @@ pub struct Region {
     pub end: Addr,
     /// Human-readable name used in diagnostics ("heap", "stack", ...).
     pub name: String,
-    /// Trap-on-access guard region: mapped (so snapshots carry it) but
-    /// every load/store faults with [`crate::MemFault::GuardTrap`]. Used
-    /// by the sentry tier for guard pages and poisoned slots.
-    pub guarded: bool,
 }
 
 impl Region {
@@ -64,7 +60,6 @@ mod tests {
             start: Addr(start),
             end: Addr(end),
             name: "test".into(),
-            guarded: false,
         }
     }
 

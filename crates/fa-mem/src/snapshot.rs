@@ -1,28 +1,32 @@
 //! Copy-on-write memory snapshots.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::page::{SharedPage, PAGE_SIZE};
+use crate::page::PAGE_SIZE;
 use crate::region::Region;
+use crate::table::{self, Root};
 
 /// A copy-on-write snapshot of a [`crate::SimMemory`].
 ///
-/// Holding a snapshot pins the `Arc`-shared pages it references; the live
-/// address space replicates a page the first time it is written after the
-/// snapshot was taken. This mirrors the fork-based in-memory checkpoints of
-/// the paper's Flashback substrate: cheap to take, cost accrues with the
-/// write working set.
+/// A snapshot is an `Arc`-shared reference to the page-table root at the
+/// moment it was taken — O(1) to create, O(1) to restore. Holding it pins
+/// the spine nodes and frames it references; the live address space
+/// path-copies a spine and replicates a frame the first time a page is
+/// written after the snapshot. This mirrors the fork-based in-memory
+/// checkpoints of the paper's Flashback substrate: cheap to take, cost
+/// accrues with the write working set.
 #[derive(Clone)]
 pub struct MemSnapshot {
     pub(crate) regions: Vec<Region>,
-    pub(crate) pages: BTreeMap<u64, SharedPage>,
+    pub(crate) root: Arc<Root>,
+    pub(crate) resident: usize,
     pub(crate) next_region: u32,
 }
 
 impl MemSnapshot {
-    /// Returns the number of pages referenced by this snapshot.
+    /// Returns the number of pages (frames) referenced by this snapshot.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Returns the number of bytes of page data referenced by the snapshot.
@@ -31,7 +35,7 @@ impl MemSnapshot {
     /// snapshots; [`Self::owned_bytes_vs`] reports the exclusively owned
     /// portion.
     pub fn referenced_bytes(&self) -> u64 {
-        (self.pages.len() * PAGE_SIZE) as u64
+        (self.resident * PAGE_SIZE) as u64
     }
 
     /// Returns the number of bytes in pages this snapshot holds that
@@ -40,13 +44,38 @@ impl MemSnapshot {
     ///
     /// This is the per-checkpoint space figure of paper Table 7: with COW,
     /// a checkpoint's real cost is the set of pages that were dirtied in
-    /// its interval.
+    /// its interval. Identical subtrees are skipped by `Arc` identity, so
+    /// the walk is proportional to the *diverged* spine, not the resident
+    /// set.
     pub fn owned_bytes_vs(&self, other: &MemSnapshot) -> u64 {
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return 0;
+        }
         let mut owned = 0u64;
-        for (pageno, page) in &self.pages {
-            match other.pages.get(pageno) {
-                Some(p) if std::sync::Arc::ptr_eq(p, page) => {}
-                _ => owned += PAGE_SIZE as u64,
+        for (i2, mine) in self.root.children.iter().enumerate() {
+            let Some(mine) = mine else { continue };
+            let theirs = other.root.children[i2].as_ref();
+            if theirs.is_some_and(|t| Arc::ptr_eq(mine, t)) {
+                continue;
+            }
+            for (i1, my_leaf) in mine.children.iter().enumerate() {
+                let Some(my_leaf) = my_leaf else { continue };
+                let their_leaf = theirs.and_then(|t| t.children[i1].as_ref());
+                if their_leaf.is_some_and(|t| Arc::ptr_eq(my_leaf, t)) {
+                    continue;
+                }
+                for (i0, entry) in my_leaf.entries.iter().enumerate() {
+                    let Some(frame) = &entry.frame else { continue };
+                    let shared = their_leaf.is_some_and(|t| {
+                        t.entries[i0]
+                            .frame
+                            .as_ref()
+                            .is_some_and(|f| Arc::ptr_eq(frame, f))
+                    });
+                    if !shared {
+                        owned += PAGE_SIZE as u64;
+                    }
+                }
             }
         }
         owned
@@ -55,17 +84,17 @@ impl MemSnapshot {
     /// Returns a content-aware digest over all referenced pages.
     ///
     /// Folds each page's cached content hash (see
-    /// [`crate::Page::content_hash`]) with its page number, so both a
-    /// flipped byte and a swapped pair of pages change the digest. The
-    /// per-page hashes are cached on the shared pages themselves and only
-    /// recomputed for pages written since the last digest of any snapshot
-    /// sharing them — per checkpoint this is O(dirty pages), not
-    /// O(resident pages).
+    /// [`crate::Page::content_hash`]) with its page number in ascending
+    /// order, so both a flipped byte and a swapped pair of pages change
+    /// the digest. The per-page hashes are cached on the shared frames
+    /// themselves and only recomputed for pages written since the last
+    /// digest of any snapshot sharing them — per checkpoint this is
+    /// O(dirty pages), not O(resident pages).
     pub fn content_digest(&self) -> u64 {
         let mut h = 0xfa1d_c0de_5eed_0001u64;
-        for (pageno, page) in &self.pages {
-            h = mix64(h ^ pageno.rotate_left(32) ^ page.content_hash());
-        }
+        table::for_each_frame(&self.root, |pageno, frame| {
+            h = mix64(h ^ pageno.rotate_left(32) ^ frame.content_hash());
+        });
         h
     }
 
@@ -76,18 +105,19 @@ impl MemSnapshot {
     /// This is a corruption hook for exercising checkpoint-rot detection;
     /// it deliberately bypasses dirty-tracking the way real bit rot would.
     pub fn rot_page(&mut self) -> bool {
-        match self.pages.values_mut().next() {
-            Some(page) => {
-                std::sync::Arc::make_mut(page).bytes_mut()[PAGE_SIZE / 2] ^= 0x40;
-                true
-            }
-            None => false,
-        }
+        let Some(pageno) = table::first_frame(&self.root) else {
+            return false;
+        };
+        let entry = table::walk_mut(&mut self.root, pageno);
+        let frame = entry.frame.as_mut().expect("first_frame found a frame");
+        Arc::make_mut(frame).bytes_mut()[PAGE_SIZE / 2] ^= 0x40;
+        true
     }
 }
 
-/// SplitMix64 finalizer for the digest fold.
-fn mix64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer for the digest fold (shared with the flat-map
+/// oracle so both digests use the identical fold).
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -126,6 +156,22 @@ mod tests {
         mem.map(base, 1 << 20, "heap").unwrap();
         let s1 = mem.snapshot();
         mem.write_u8(base, 1).unwrap();
+        let s2 = mem.snapshot();
+        assert_eq!(s2.owned_bytes_vs(&s1), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn owned_bytes_skips_shared_subtrees_across_tables() {
+        let mut mem = SimMemory::new();
+        let base = Addr(0x1000_0000);
+        mem.map(base, 1 << 20, "heap").unwrap();
+        // A second region far away, in a different top-level subtree.
+        let far = Addr(0x20_0000_0000);
+        mem.map(far, 1 << 20, "far").unwrap();
+        mem.write_u8(base, 1).unwrap();
+        mem.write_u8(far, 1).unwrap();
+        let s1 = mem.snapshot();
+        mem.write_u8(base, 2).unwrap(); // diverge only the near subtree
         let s2 = mem.snapshot();
         assert_eq!(s2.owned_bytes_vs(&s1), PAGE_SIZE as u64);
     }

@@ -1,0 +1,202 @@
+//! TLB-style translation/permission cache.
+//!
+//! A direct-mapped, 64-entry cache in front of the page-table walk
+//! ([`crate::table`]), replacing the old one-entry write/region caches.
+//! Each entry caches the *effective permissions* of one page whose frame
+//! can be reached by a fresh walk — the cache never holds frame references,
+//! so it cannot inflate `Arc` counts and break copy-on-write uniqueness.
+//!
+//! # Invalidation
+//!
+//! Entries are epoch-tagged rather than flushed: [`crate::SimMemory`] bumps
+//! its table epoch on every operation that can change a page's effective
+//! permissions or region containment (`map`, `unmap`, `grow_region`,
+//! `protect`, `restore`), and a lookup whose stored epoch differs from the
+//! live epoch is a miss. Snapshots do *not* bump the epoch — taking one
+//! changes no permissions, and store-after-snapshot replication is handled
+//! by the walk itself.
+//!
+//! Only pages lying entirely inside a single region are cached (see
+//! `SimMemory::access_check`): accesses to a region's first and last page
+//! always take the slow path, which preserves the byte-exact
+//! "access must fit one region" fault semantics at region edges.
+
+use crate::perm::Perms;
+
+/// Number of cache entries; direct-mapped by `pageno % TLB_ENTRIES`.
+pub(crate) const TLB_ENTRIES: usize = 64;
+
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    pageno: u64,
+    epoch: u64,
+    perms: Perms,
+    /// Page already counted in the dirty set this interval — lets repeated
+    /// stores to a hot page skip the `BTreeSet` insert.
+    dirty: bool,
+    valid: bool,
+}
+
+const INVALID: TlbEntry = TlbEntry {
+    pageno: 0,
+    epoch: 0,
+    perms: Perms::NONE,
+    dirty: false,
+    valid: false,
+};
+
+/// Hit/miss counters of a [`Tlb`], for the `tlb_hit_rate` perf metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Access checks served from the cache.
+    pub hits: u64,
+    /// Access checks that took the page-table walk (including multi-page
+    /// accesses, which always do).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Hit fraction in `[0, 1]`; `0` when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Direct-mapped translation/permission cache.
+#[derive(Clone)]
+pub(crate) struct Tlb {
+    entries: [TlbEntry; TLB_ENTRIES],
+    stats: TlbStats,
+}
+
+impl Tlb {
+    pub(crate) fn new() -> Self {
+        Tlb {
+            entries: [INVALID; TLB_ENTRIES],
+            stats: TlbStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slot(pageno: u64) -> usize {
+        (pageno % TLB_ENTRIES as u64) as usize
+    }
+
+    /// Returns the cached permissions of `pageno`, counting a hit or miss.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pageno: u64, epoch: u64) -> Option<Perms> {
+        let e = &self.entries[Self::slot(pageno)];
+        if e.valid && e.epoch == epoch && e.pageno == pageno {
+            self.stats.hits += 1;
+            Some(e.perms)
+        } else {
+            None
+        }
+    }
+
+    /// Counts one slow-path access check (single miss regardless of the
+    /// number of pages walked).
+    #[inline]
+    pub(crate) fn count_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Installs (or refreshes) the entry for `pageno`.
+    pub(crate) fn insert(&mut self, pageno: u64, perms: Perms, epoch: u64) {
+        let slot = &mut self.entries[Self::slot(pageno)];
+        // Preserve the dirty flag across a refresh of the same page in the
+        // same epoch; anything else starts clean.
+        let dirty = slot.valid && slot.epoch == epoch && slot.pageno == pageno && slot.dirty;
+        *slot = TlbEntry {
+            pageno,
+            epoch,
+            perms,
+            dirty,
+            valid: true,
+        };
+    }
+
+    /// Marks `pageno` dirty if cached; returns `true` if it was *already*
+    /// marked (the caller can then skip the dirty-set insert).
+    #[inline]
+    pub(crate) fn note_dirty(&mut self, pageno: u64, epoch: u64) -> bool {
+        let e = &mut self.entries[Self::slot(pageno)];
+        if e.valid && e.epoch == epoch && e.pageno == pageno {
+            let was = e.dirty;
+            e.dirty = true;
+            was
+        } else {
+            false
+        }
+    }
+
+    /// Clears all dirty flags (a dirty-interval boundary).
+    pub(crate) fn clear_dirty(&mut self) {
+        for e in &mut self.entries {
+            e.dirty = false;
+        }
+    }
+
+    pub(crate) fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_hits_after_insert() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(5, 1), None);
+        tlb.count_miss();
+        tlb.insert(5, Perms::RW, 1);
+        assert_eq!(tlb.lookup(5, 1), Some(Perms::RW));
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let mut tlb = Tlb::new();
+        tlb.insert(5, Perms::RW, 1);
+        assert_eq!(tlb.lookup(5, 2), None);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut tlb = Tlb::new();
+        tlb.insert(3, Perms::RW, 1);
+        tlb.insert(3 + TLB_ENTRIES as u64, Perms::GUARD, 1);
+        assert_eq!(tlb.lookup(3, 1), None, "conflicting page evicted the entry");
+        assert_eq!(tlb.lookup(3 + TLB_ENTRIES as u64, 1), Some(Perms::GUARD));
+    }
+
+    #[test]
+    fn dirty_flag_tracks_interval() {
+        let mut tlb = Tlb::new();
+        tlb.insert(9, Perms::RW, 1);
+        assert!(
+            !tlb.note_dirty(9, 1),
+            "first store must report not-yet-dirty"
+        );
+        assert!(tlb.note_dirty(9, 1), "second store sees the flag");
+        tlb.clear_dirty();
+        assert!(!tlb.note_dirty(9, 1));
+        // Refresh in the same epoch preserves the flag.
+        tlb.insert(9, Perms::RW, 1);
+        assert!(tlb.note_dirty(9, 1));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = TlbStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(TlbStats::default().hit_rate(), 0.0);
+    }
+}

@@ -78,6 +78,27 @@ pub trait AllocBackend: Send {
         site: CallSite,
     ) -> Result<(), Fault>;
 
+    /// Notifies the backend that an access just raised
+    /// [`fa_mem::MemFault::GuardTrap`] from the page permission bits
+    /// ([`fa_mem::Perms::GUARD`]/[`fa_mem::Perms::POISONED`]).
+    ///
+    /// The process context calls this after the MMU-analog fault and
+    /// before delivering it to the application — the simulated SIGSEGV
+    /// hand-off to First-Aid's error monitor. The extension uses it to
+    /// attribute the trap (dangling access to a poisoned sentry slot,
+    /// overflow into a guard page) and latch a trap record for the bug
+    /// report. The default does nothing; the fault is delivered either
+    /// way.
+    fn on_guard_trap(
+        &mut self,
+        _clock: &mut Clock,
+        _addr: Addr,
+        _len: u64,
+        _kind: AccessKind,
+        _site: CallSite,
+    ) {
+    }
+
     /// Returns the underlying heap.
     fn heap(&self) -> &Heap;
 

@@ -16,7 +16,7 @@
 //! seed used to model scheduling nondeterminism.
 
 use fa_heap::Heap;
-use fa_mem::{AccessKind, Addr, MemSnapshot, SimMemory};
+use fa_mem::{AccessKind, Addr, MemFault, MemSnapshot, SimMemory};
 
 use crate::alloc_api::{AllocBackend, PlainAllocator};
 use crate::callsite::{CallSite, CallStack, SymbolTable};
@@ -239,7 +239,8 @@ impl ProcessCtx {
         // Routed through the observe hook so the allocator sees the
         // zeroing as an initializing write.
         self.observed(p, req, AccessKind::Write)?;
-        self.mem.fill(p, req, 0)?;
+        let r = self.mem.fill(p, req, 0);
+        self.route(r)?;
         Ok(p)
     }
 
@@ -279,65 +280,95 @@ impl ProcessCtx {
         alloc.observe_access(clock, addr, len, kind, site)
     }
 
+    /// Routes a raw memory-access result back to the application.
+    ///
+    /// Permission-bit traps ([`MemFault::GuardTrap`] from
+    /// [`fa_mem::Perms::GUARD`]/[`fa_mem::Perms::POISONED`] pages) are
+    /// first announced to the allocator backend — the simulated SIGSEGV
+    /// hand-off to First-Aid's error monitor — so the extension can
+    /// attribute the trap before the fault reaches the application.
+    fn route<T>(&mut self, res: Result<T, MemFault>) -> Result<T, Fault> {
+        match res {
+            Ok(v) => Ok(v),
+            Err(MemFault::GuardTrap { addr, kind, len }) => {
+                let site = self.stack.callsite();
+                let ProcessCtx { alloc, clock, .. } = self;
+                alloc.on_guard_trap(clock, addr, len, kind, site);
+                Err(Fault::Mem(MemFault::GuardTrap { addr, kind, len }))
+            }
+            Err(f) => Err(Fault::Mem(f)),
+        }
+    }
+
     /// Stores `bytes` at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), Fault> {
         self.observed(addr, bytes.len() as u64, AccessKind::Write)?;
-        Ok(self.mem.write(addr, bytes)?)
+        let r = self.mem.write(addr, bytes);
+        self.route(r)
     }
 
     /// Loads `len` bytes from `addr`.
     pub fn read_bytes(&mut self, addr: Addr, len: u64) -> Result<Vec<u8>, Fault> {
         self.observed(addr, len, AccessKind::Read)?;
-        Ok(self.mem.read_bytes(addr, len)?)
+        let r = self.mem.read_bytes(addr, len);
+        self.route(r)
     }
 
     /// Stores a little-endian `u64`.
     pub fn write_u64(&mut self, addr: Addr, v: u64) -> Result<(), Fault> {
         self.observed(addr, 8, AccessKind::Write)?;
-        Ok(self.mem.write_u64(addr, v)?)
+        let r = self.mem.write_u64(addr, v);
+        self.route(r)
     }
 
     /// Loads a little-endian `u64`.
     pub fn read_u64(&mut self, addr: Addr) -> Result<u64, Fault> {
         self.observed(addr, 8, AccessKind::Read)?;
-        Ok(self.mem.read_u64(addr)?)
+        let r = self.mem.read_u64(addr);
+        self.route(r)
     }
 
     /// Stores a little-endian `u32`.
     pub fn write_u32(&mut self, addr: Addr, v: u32) -> Result<(), Fault> {
         self.observed(addr, 4, AccessKind::Write)?;
-        Ok(self.mem.write_u32(addr, v)?)
+        let r = self.mem.write_u32(addr, v);
+        self.route(r)
     }
 
     /// Loads a little-endian `u32`.
     pub fn read_u32(&mut self, addr: Addr) -> Result<u32, Fault> {
         self.observed(addr, 4, AccessKind::Read)?;
-        Ok(self.mem.read_u32(addr)?)
+        let r = self.mem.read_u32(addr);
+        self.route(r)
     }
 
     /// Stores one byte.
     pub fn write_u8(&mut self, addr: Addr, v: u8) -> Result<(), Fault> {
         self.observed(addr, 1, AccessKind::Write)?;
-        Ok(self.mem.write_u8(addr, v)?)
+        let r = self.mem.write_u8(addr, v);
+        self.route(r)
     }
 
     /// Loads one byte.
     pub fn read_u8(&mut self, addr: Addr) -> Result<u8, Fault> {
         self.observed(addr, 1, AccessKind::Read)?;
-        Ok(self.mem.read_u8(addr)?)
+        let r = self.mem.read_u8(addr);
+        self.route(r)
     }
 
     /// Fills `[addr, addr + len)` with `byte` (a `memset`).
     pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), Fault> {
         self.observed(addr, len, AccessKind::Write)?;
-        Ok(self.mem.fill(addr, len, byte)?)
+        let r = self.mem.fill(addr, len, byte);
+        self.route(r)
     }
 
     /// Copies `len` bytes from `src` to `dst` (a `memcpy`).
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<(), Fault> {
         self.observed(src, len, AccessKind::Read)?;
         self.observed(dst, len, AccessKind::Write)?;
-        Ok(self.mem.copy(dst, src, len)?)
+        let r = self.mem.copy(dst, src, len);
+        self.route(r)
     }
 
     /// Writes a NUL-terminated string (a `strcpy`).

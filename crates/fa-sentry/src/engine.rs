@@ -7,17 +7,21 @@
 //! [ guard page | canary slack · object · canary slack | guard page ]
 //! ```
 //!
-//! The guard pages are permanently trap-on-access
-//! ([`fa_mem::MemFault::GuardTrap`]); the data page is normal memory
-//! while the object is live and becomes trap-on-access when the object
-//! is freed (**poisoning**). Poisoned slots sit in a recycle ring and
-//! are reused only when the arena is out of fresh slots and the ring is
-//! deeper than `recycle_depth` — delayed reuse, so dangling accesses keep
-//! trapping long after the free.
+//! The arena is a single [`fa_mem`] region grown slot-by-slot; slot
+//! states are pure per-page permission flips ([`fa_mem::SimMemory::protect`]).
+//! Guard pages carry [`Perms::GUARD`] permanently; the data page is
+//! normal memory while the object is live and flips to
+//! [`Perms::POISONED`] when the object is freed (**poisoning**) — no
+//! pages are mapped or unmapped on the place/poison/release paths.
+//! Accesses to either trap with [`fa_mem::MemFault::GuardTrap`].
+//! Poisoned slots sit in a recycle ring and are reused only when the
+//! arena is out of fresh slots and the ring is deeper than
+//! `recycle_depth` — delayed reuse, so dangling accesses keep trapping
+//! long after the free.
 
 use std::collections::VecDeque;
 
-use fa_mem::{Addr, RegionId, SimMemory, PAGE_SIZE};
+use fa_mem::{Addr, Perms, RegionId, SimMemory, PAGE_SIZE};
 
 use crate::metrics::SentryMetrics;
 use crate::sampler::Sampler;
@@ -89,18 +93,15 @@ enum SlotState {
     Free,
 }
 
-#[derive(Clone, Debug)]
-struct Slot {
-    data_region: RegionId,
-    state: SlotState,
-}
-
 /// The slot arena plus sampling policy and trap latch.
 #[derive(Clone, Debug)]
 pub struct SentryEngine {
     cfg: SentryConfig,
     sampler: Sampler,
-    slots: Vec<Slot>,
+    /// The arena region, mapped lazily and grown one slot stride at a
+    /// time; `None` until the first slot is placed.
+    arena: Option<RegionId>,
+    slots: Vec<SlotState>,
     /// Slots ready for immediate reuse (LIFO).
     free: Vec<usize>,
     /// Poisoned slots, oldest first.
@@ -118,6 +119,7 @@ impl SentryEngine {
         SentryEngine {
             cfg,
             sampler,
+            arena: None,
             slots: Vec::new(),
             free: Vec::new(),
             recycle: VecDeque::new(),
@@ -172,6 +174,25 @@ impl SentryEngine {
         ARENA_BASE.offset(slot as u64 * STRIDE + PAGE)
     }
 
+    /// Appends a brand-new slot to the arena: grows (or lazily maps)
+    /// the arena region by one stride and marks the flanking guard
+    /// pages trap-on-access.
+    fn append_slot(&mut self, mem: &mut SimMemory) -> Option<usize> {
+        let idx = self.slots.len();
+        let base = ARENA_BASE.offset(idx as u64 * STRIDE);
+        let end = ARENA_BASE.offset((idx as u64 + 1) * STRIDE);
+        match self.arena {
+            Some(id) => mem.grow_region(id, end).ok()?,
+            None => self.arena = Some(mem.map(ARENA_BASE, STRIDE, "sentry-arena").ok()?),
+        }
+        mem.protect(base, PAGE, Perms::GUARD)
+            .expect("arena covers the new slot");
+        mem.protect(base.offset(PAGE + DATA_CAP), PAGE, Perms::GUARD)
+            .expect("arena covers the new slot");
+        self.slots.push(SlotState::Free);
+        Some(idx)
+    }
+
     /// Places a sampled allocation of `size` bytes into a slot.
     ///
     /// Slot choice: fresh free slots first, then a brand-new slot while
@@ -186,27 +207,16 @@ impl SentryEngine {
         let idx = if let Some(idx) = self.free.pop() {
             idx
         } else if self.slots.len() < self.cfg.max_slots {
-            let idx = self.slots.len();
-            let base = ARENA_BASE.offset(idx as u64 * STRIDE);
-            mem.map_guarded(base, PAGE, "sentry-guard").ok()?;
-            let data_region = mem.map(base.offset(PAGE), DATA_CAP, "sentry-slot").ok()?;
-            mem.map_guarded(base.offset(PAGE + DATA_CAP), PAGE, "sentry-guard")
-                .ok()?;
-            self.slots.push(Slot {
-                data_region,
-                state: SlotState::Free,
-            });
-            idx
+            self.append_slot(mem)?
         } else if self.recycle.len() > self.cfg.recycle_depth {
             self.recycle.pop_front().expect("ring checked non-empty")
         } else {
             self.metrics.skipped += 1;
             return None;
         };
-        let slot = &mut self.slots[idx];
-        mem.set_region_guarded(slot.data_region, false)
-            .expect("slot region is mapped");
-        slot.state = SlotState::Live;
+        mem.protect(self.data_base(idx), DATA_CAP, Perms::RW)
+            .expect("slot data page is mapped");
+        self.slots[idx] = SlotState::Live;
         self.metrics.samples += 1;
         Some(SlotPlacement {
             slot: idx,
@@ -215,26 +225,27 @@ impl SentryEngine {
         })
     }
 
-    /// Poisons a slot whose object was freed: the data page becomes
-    /// trap-on-access and the slot enters the recycle ring.
+    /// Poisons a slot whose object was freed: the data page flips to
+    /// [`Perms::POISONED`] (contents intact, accesses trap) and the
+    /// slot enters the recycle ring.
     pub fn poison(&mut self, mem: &mut SimMemory, slot: usize) {
-        let s = &mut self.slots[slot];
-        mem.set_region_guarded(s.data_region, true)
-            .expect("slot region is mapped");
-        s.state = SlotState::Poisoned;
+        mem.protect(self.data_base(slot), DATA_CAP, Perms::POISONED)
+            .expect("slot data page is mapped");
+        self.slots[slot] = SlotState::Poisoned;
         self.recycle.push_back(slot);
     }
 
     /// Releases a slot without poisoning (the object left through the
-    /// ordinary delayed-free quarantine, or moved in a realloc).
+    /// ordinary delayed-free quarantine, or moved in a realloc). The
+    /// data page is re-guarded while the slot waits on the free list:
+    /// it holds no object, so any access is wild and keeps trapping.
     pub fn release(&mut self, mem: &mut SimMemory, slot: usize) {
-        let s = &mut self.slots[slot];
-        mem.set_region_guarded(s.data_region, false)
-            .expect("slot region is mapped");
-        if s.state == SlotState::Poisoned {
+        mem.protect(self.data_base(slot), DATA_CAP, Perms::GUARD)
+            .expect("slot data page is mapped");
+        if self.slots[slot] == SlotState::Poisoned {
             self.recycle.retain(|&i| i != slot);
         }
-        s.state = SlotState::Free;
+        self.slots[slot] = SlotState::Free;
         self.free.push(slot);
     }
 
@@ -242,7 +253,7 @@ impl SentryEngine {
     pub fn is_poisoned(&self, slot: usize) -> bool {
         self.slots
             .get(slot)
-            .is_some_and(|s| s.state == SlotState::Poisoned)
+            .is_some_and(|&s| s == SlotState::Poisoned)
     }
 
     /// Latches a trap (the first in a window wins) and counts it.
@@ -384,7 +395,13 @@ mod tests {
         e.poison(&mut mem, p.slot);
         e.release(&mut mem, p.slot);
         assert!(!e.is_poisoned(p.slot));
+        // The idle slot holds no object, so wild accesses keep trapping.
+        assert!(matches!(
+            mem.read_u8(p.data),
+            Err(MemFault::GuardTrap { .. })
+        ));
         // Free list serves it immediately despite the recycle depth.
-        assert!(e.place(&mut mem, 8).is_some());
+        let p2 = e.place(&mut mem, 8).unwrap();
+        assert!(mem.read_u8(p2.data).is_ok());
     }
 }
